@@ -1,0 +1,70 @@
+// Command ecfrmd serves the erasure-coded blob store over HTTP — a
+// miniature erasure-coded object service for poking at EC-FRM behaviour
+// interactively:
+//
+//	ecfrmd -addr :8080 -code lrc -k 6 -l 2 -m 2 -form ecfrm -elem 65536
+//
+//	curl -X PUT --data-binary @song.mp3 localhost:8080/objects/song.mp3
+//	curl localhost:8080/objects/song.mp3 -o out.mp3 -D -   # note X-Read-Cost
+//	curl -X POST 'localhost:8080/admin/fail?disk=3'
+//	curl localhost:8080/objects/song.mp3 -o out.mp3        # degraded, still OK
+//	curl -X POST 'localhost:8080/admin/recover?disk=3'
+//	curl localhost:8080/admin/status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/httpd"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		code = flag.String("code", "lrc", "candidate code: rs or lrc")
+		k    = flag.Int("k", 6, "data elements per row")
+		l    = flag.Int("l", 2, "local parities (lrc only)")
+		m    = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
+		form = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
+		elem = flag.Int("elem", 64<<10, "element size in bytes")
+	)
+	flag.Parse()
+
+	var (
+		scheme *core.Scheme
+		err    error
+	)
+	switch strings.ToLower(*code) {
+	case "rs":
+		var c *rs.Code
+		if c, err = rs.New(*k, *m); err == nil {
+			scheme, err = core.NewScheme(c, layout.Form(*form))
+		}
+	case "lrc":
+		var c *lrc.Code
+		if c, err = lrc.New(*k, *l, *m); err == nil {
+			scheme, err = core.NewScheme(c, layout.Form(*form))
+		}
+	default:
+		err = fmt.Errorf("unknown code %q", *code)
+	}
+	if err != nil {
+		log.Fatal("ecfrmd: ", err)
+	}
+	st, err := store.New(scheme, *elem)
+	if err != nil {
+		log.Fatal("ecfrmd: ", err)
+	}
+	log.Printf("serving %s (%d disks, tolerates %d failures, %.2fx overhead) on %s",
+		scheme.Name(), scheme.N(), scheme.FaultTolerance(), scheme.StorageOverhead(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpd.NewServer(st)))
+}

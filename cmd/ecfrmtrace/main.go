@@ -1,0 +1,151 @@
+// Command ecfrmtrace generates object-read traces (uniform or Zipf-skewed)
+// and replays them against a chosen scheme, reporting latency and load
+// statistics from the simulated disk array — the workload-exploration
+// companion to cmd/ecfrmbench's fixed paper protocol.
+//
+// Usage:
+//
+//	ecfrmtrace -gen -zipf 1.2 -objects 50 -events 2000 -out trace.csv
+//	ecfrmtrace -replay trace.csv -code lrc -k 6 -l 2 -m 2 -form ecfrm
+//	ecfrmtrace -gen -replay - -form standard        # generate and replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disksim"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate a trace")
+		zipf    = flag.Float64("zipf", 0, "Zipf exponent (>1); 0 = uniform popularity")
+		objects = flag.Int("objects", 40, "catalog size")
+		minMB   = flag.Int("min-mb", 3, "minimum object size in MB")
+		maxMB   = flag.Int("max-mb", 18, "maximum object size in MB")
+		events  = flag.Int("events", 1000, "trace length")
+		seed    = flag.Int64("seed", 2015, "generation seed")
+		out     = flag.String("out", "", "write the generated trace CSV here")
+		replay  = flag.String("replay", "", `trace CSV to replay ("-" = the one just generated)`)
+		codeF   = flag.String("code", "lrc", "candidate code: rs or lrc")
+		k       = flag.Int("k", 6, "data elements per row")
+		l       = flag.Int("l", 2, "local parities (lrc)")
+		m       = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
+		form    = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
+		failed  = flag.Int("fail", -1, "fail this disk during replay")
+	)
+	flag.Parse()
+
+	if !*gen && *replay == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	catalog, err := trace.Catalog(*objects, *minMB<<20, *maxMB<<20, *seed)
+	if err != nil {
+		log.Fatal("ecfrmtrace: ", err)
+	}
+	var events2 []trace.Event
+	if *gen {
+		if *zipf > 0 {
+			events2, err = trace.Zipf(catalog, *events, *zipf, *seed+1)
+		} else {
+			events2, err = trace.Uniform(catalog, *events, *seed+1)
+		}
+		if err != nil {
+			log.Fatal("ecfrmtrace: ", err)
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal("ecfrmtrace: ", err)
+			}
+			if err := trace.WriteCSV(f, events2); err != nil {
+				log.Fatal("ecfrmtrace: ", err)
+			}
+			f.Close()
+			fmt.Printf("wrote %d events over %d objects to %s\n", len(events2), *objects, *out)
+		}
+	}
+	if *replay == "" {
+		return
+	}
+	if *replay != "-" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal("ecfrmtrace: ", err)
+		}
+		events2, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal("ecfrmtrace: ", err)
+		}
+	}
+	if len(events2) == 0 {
+		log.Fatal("ecfrmtrace: no events to replay")
+	}
+
+	var scheme *core.Scheme
+	switch *codeF {
+	case "rs":
+		c, err := rs.New(*k, *m)
+		if err != nil {
+			log.Fatal("ecfrmtrace: ", err)
+		}
+		scheme = core.MustScheme(c, layout.Form(*form))
+	case "lrc":
+		c, err := lrc.New(*k, *l, *m)
+		if err != nil {
+			log.Fatal("ecfrmtrace: ", err)
+		}
+		scheme = core.MustScheme(c, layout.Form(*form))
+	default:
+		log.Fatalf("ecfrmtrace: unknown code %q", *codeF)
+	}
+
+	const elem = 1 << 20
+	st := store.MustNew(scheme, elem)
+	if err := st.Append(make([]byte, trace.TotalBytes(catalog))); err != nil {
+		log.Fatal("ecfrmtrace: ", err)
+	}
+	if err := st.Flush(); err != nil {
+		log.Fatal("ecfrmtrace: ", err)
+	}
+	if *failed >= 0 {
+		st.FailDisk(*failed)
+	}
+	array, err := disksim.NewArray(scheme.N(), disksim.DefaultConfig(), *seed+2)
+	if err != nil {
+		log.Fatal("ecfrmtrace: ", err)
+	}
+
+	var lat, speed, maxLoad stats.Summary
+	start := time.Now()
+	for _, e := range events2 {
+		res, err := st.ReadAt(e.Off, e.Size)
+		if err != nil {
+			log.Fatalf("ecfrmtrace: object %d: %v", e.Object, err)
+		}
+		t := array.ServeRead(res.Plan.Loads, elem)
+		lat.AddDuration(t)
+		speed.Add(disksim.SpeedMBps(e.Size, t))
+		maxLoad.Add(float64(res.Plan.MaxLoad()))
+	}
+	fmt.Printf("replayed %d reads on %s in %v (wall)\n", len(events2), scheme.Name(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("simulated latency (s):  %s\n", lat.String())
+	fmt.Printf("read speed (MB/s):      %s\n", speed.String())
+	fmt.Printf("max disk load:          %s\n", maxLoad.String())
+	fmt.Println("\nlatency distribution:")
+	fmt.Print(lat.Histogram(10, "s"))
+}

@@ -1,0 +1,96 @@
+// Command layoutviz renders stripe layouts as ASCII grids in the style of
+// the paper's Figures 1-5: one row of cells per stripe row, one column per
+// disk, each cell labelled with its kind (d=data, p=parity) and its code
+// group. It makes the EC-FRM transformation visible at a glance.
+//
+// Usage:
+//
+//	layoutviz -n 10 -k 6                  # all three forms for a (10,6) shape
+//	layoutviz -code lrc -k 6 -l 2 -m 2    # derive the shape from a code
+//	layoutviz -form ecfrm -groups         # one form, group-membership table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/layout"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 0, "total elements per candidate row (overrides -code)")
+		k      = flag.Int("k", 6, "data elements per candidate row")
+		l      = flag.Int("l", 2, "local parities (lrc only)")
+		m      = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
+		code   = flag.String("code", "lrc", "candidate family for shape derivation: rs or lrc")
+		form   = flag.String("form", "", "render only this form: standard, rotated, ecfrm")
+		groups = flag.Bool("groups", false, "also print the per-group element table")
+	)
+	flag.Parse()
+
+	nn := *n
+	if nn == 0 {
+		switch strings.ToLower(*code) {
+		case "rs":
+			nn = *k + *m
+		case "lrc":
+			nn = *k + *l + *m
+		default:
+			fmt.Fprintf(os.Stderr, "layoutviz: unknown code %q\n", *code)
+			os.Exit(2)
+		}
+	}
+
+	forms := []layout.Form{layout.FormStandard, layout.FormRotated, layout.FormECFRM}
+	if *form != "" {
+		forms = []layout.Form{layout.Form(*form)}
+	}
+	for _, f := range forms {
+		lay, err := layout.New(f, nn, *k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "layoutviz:", err)
+			os.Exit(1)
+		}
+		render(lay, *groups)
+		fmt.Println()
+	}
+}
+
+func render(lay layout.Layout, groups bool) {
+	fmt.Printf("=== %s layout for a (%d,%d) candidate: %d row(s) × %d disks, %d group(s)\n",
+		lay.Name(), lay.N(), lay.K(), lay.Rows(), lay.N(), lay.Groups())
+	head := "      "
+	for col := 0; col < lay.N(); col++ {
+		head += fmt.Sprintf(" disk%-3d", col)
+	}
+	fmt.Println(head)
+	for row := 0; row < lay.Rows(); row++ {
+		line := fmt.Sprintf("row %-2d", row)
+		for col := 0; col < lay.N(); col++ {
+			c := lay.CellAt(layout.Pos{Row: row, Col: col})
+			kind := "d"
+			if !c.IsData {
+				kind = "p"
+			}
+			line += fmt.Sprintf(" %s%d.e%-3d", kind, c.Group, c.Element)
+		}
+		fmt.Println(line)
+	}
+	if lay.Name() == "rotated" {
+		fmt.Println("  (columns shown logically; stripe s maps column c to disk (c-s) mod n)")
+	}
+	if groups {
+		fmt.Println("  group membership (element t of group g → cell):")
+		for g := 0; g < lay.Groups(); g++ {
+			var parts []string
+			for t := 0; t < lay.N(); t++ {
+				p := lay.GroupCell(g, t)
+				parts = append(parts, fmt.Sprintf("t%d→(%d,%d)", t, p.Row, p.Col))
+			}
+			fmt.Printf("  G%d: %s\n", g, strings.Join(parts, " "))
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Cluster example: the paper's "sufficient bandwidth" assumption (§III),
+// made visible. The same normal-read workload runs against standard LRC and
+// EC-FRM-LRC deployed across storage nodes, while the client's ingress link
+// shrinks from datacenter-fat to WAN-thin. EC-FRM's advantage lives entirely
+// in the disk-bound regime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	code, err := ecfrm.NewLRC(6, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := ecfrm.NewWorkload(ecfrm.WorkloadConfig{TotalElements: 600, Disks: code.N(), Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trials := gen.NormalSeries(500)
+	const elem = 1 << 20
+
+	fmt.Println("Normal reads on (6,2,2), 10 storage nodes, varying client ingress link")
+	fmt.Printf("%-14s %14s %14s %10s\n", "client link", "LRC MB/s", "EC-FRM MB/s", "gain")
+	for _, mbps := range []float64{1250, 400, 100, 50, 25} {
+		speeds := map[ecfrm.Form]float64{}
+		for _, form := range []ecfrm.Form{ecfrm.FormStandard, ecfrm.FormECFRM} {
+			scheme, err := ecfrm.NewScheme(code, form)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := ecfrm.DefaultClusterConfig()
+			cfg.ClientLinkMBps = mbps
+			cl, err := ecfrm.NewCluster(scheme, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var sum float64
+			for _, tr := range trials {
+				res, err := cl.Read(tr.Start, tr.Count, elem, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum += float64(tr.Count*elem) / 1e6 / res.Time.Seconds()
+			}
+			speeds[form] = sum / float64(len(trials))
+		}
+		gain := 100 * (speeds[ecfrm.FormECFRM]/speeds[ecfrm.FormStandard] - 1)
+		fmt.Printf("%-11.0f MB/s %14.1f %14.1f %9.1f%%\n",
+			mbps, speeds[ecfrm.FormStandard], speeds[ecfrm.FormECFRM], gain)
+	}
+	fmt.Println("\nWith fat links the disks are the bottleneck and EC-FRM's load spreading")
+	fmt.Println("delivers its full margin; once the client NIC limits, layout is moot —")
+	fmt.Println("which is why the paper scopes itself to bandwidth-rich clusters.")
+}

@@ -1,0 +1,99 @@
+// Layout explorer: prints the EC-FRM construction for any candidate code
+// shape — the stripe grid, the group structure of Equations (1)-(4), and the
+// Lemma 1 invariant check (every disk holds exactly one element per group).
+// Reproduces the paper's Figure 4/5 for (10,6) by default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	k := flag.Int("k", 6, "data elements per candidate row")
+	l := flag.Int("l", 2, "LRC local parities (0 = use Reed-Solomon)")
+	m := flag.Int("m", 2, "parities (RS) / global parities (LRC)")
+	flag.Parse()
+
+	var (
+		code ecfrm.Code
+		err  error
+	)
+	if *l == 0 {
+		code, err = ecfrm.NewRS(*k, *m)
+	} else {
+		code, err = ecfrm.NewLRC(*k, *l, *m)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scheme, err := ecfrm.NewScheme(code, ecfrm.FormECFRM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lay := scheme.Layout()
+	n := lay.N()
+	fmt.Printf("%s: r = gcd(%d,%d), stripe = %d rows × %d disks, %d groups\n\n",
+		scheme.Name(), n, *k, lay.Rows(), n, lay.Groups())
+
+	// The stripe grid, Figure 4 style.
+	fmt.Print("      ")
+	for col := 0; col < n; col++ {
+		fmt.Printf("  G%-4s", fmt.Sprint(lay.CellAt(ecfrm.Pos{Row: 0, Col: col}).Group))
+	}
+	fmt.Println("   <- group of row-0 cell")
+	for row := 0; row < lay.Rows(); row++ {
+		fmt.Printf("row %d:", row)
+		for col := 0; col < n; col++ {
+			c := lay.CellAt(ecfrm.Pos{Row: row, Col: col})
+			kind := 'd'
+			if !c.IsData {
+				kind = 'p'
+			}
+			fmt.Printf(" %c%d/%-3d", kind, c.Group, c.Element)
+		}
+		fmt.Println()
+	}
+
+	// Group walk, §IV-B Step-1: data indices then parity cells.
+	fmt.Println("\ngroups (element t → row,col):")
+	for g := 0; g < lay.Groups(); g++ {
+		fmt.Printf("  G%d:", g)
+		for t := 0; t < n; t++ {
+			p := lay.GroupCell(g, t)
+			sep := " "
+			if t == *k {
+				sep = " | " // data/parity boundary
+			}
+			fmt.Printf("%s(%d,%d)", sep, p.Row, p.Col)
+		}
+		fmt.Println()
+	}
+
+	// Lemma 1 invariant: one element of every group on every disk.
+	fmt.Println("\nLemma 1 check (elements of each group per disk):")
+	ok := true
+	for g := 0; g < lay.Groups(); g++ {
+		perDisk := make([]int, n)
+		for t := 0; t < n; t++ {
+			perDisk[lay.GroupCell(g, t).Col]++
+		}
+		for d, c := range perDisk {
+			if c != 1 {
+				fmt.Printf("  VIOLATION: group %d has %d elements on disk %d\n", g, c, d)
+				ok = false
+			}
+		}
+	}
+	if ok {
+		fmt.Println("  every disk holds exactly one element of every group ✓")
+		fmt.Printf("  → any %d disk failures erase ≤ %d elements per group, so the\n",
+			scheme.FaultTolerance(), scheme.FaultTolerance())
+		fmt.Printf("    candidate's fault tolerance (%d) carries over unchanged.\n",
+			scheme.FaultTolerance())
+	}
+}

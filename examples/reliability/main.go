@@ -1,0 +1,83 @@
+// Reliability example: the durability consequences of the coding choices
+// the paper discusses. Fault tolerance (how many failures a scheme survives)
+// and repair speed (how fast a lost disk is rebuilt — where LRC's local
+// parities shine) combine into mean time to data loss; this example computes
+// MTTDL analytically for the paper's configurations, cross-checks one
+// point by Monte Carlo, and reports durability "nines" over a 10-year
+// mission.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/reliability"
+)
+
+func main() {
+	const (
+		mttf       = 100_000 * time.Hour // ~11.4 years per drive
+		elemBytes  = 1 << 20
+		perDisk    = 2000 // elements a failed disk carries
+		diskMBps   = 50
+		detect     = 5 * time.Minute
+		missionDur = 10 * 365 * 24 * time.Hour
+	)
+
+	type scheme struct {
+		name      string
+		disks     int
+		tolerance int
+		// repairReads is the elements read to rebuild one element
+		// (k for RS; k/l for most LRC cells).
+		repairReads int
+	}
+	schemes := []scheme{
+		{"RS(6,3) / EC-FRM-RS(6,3)", 9, 3, 6 * perDisk},
+		{"RS(10,5) / EC-FRM-RS(10,5)", 15, 5, 10 * perDisk},
+		{"LRC(6,2,2) / EC-FRM-LRC(6,2,2)", 10, 3, 36 * perDisk / 10}, // mixed-cell average: 3.6×
+		{"LRC(10,2,4) / EC-FRM-LRC(10,2,4)", 16, 5, 625 * perDisk / 100},
+		{"3-replication", 3, 2, perDisk},
+	}
+
+	fmt.Println("Durability of the paper's configurations (per stripe group of disks)")
+	fmt.Printf("%-34s %6s %9s %12s %14s %8s\n",
+		"scheme", "disks", "tolerate", "repair time", "MTTDL (years)", "nines")
+	for _, s := range schemes {
+		repair := reliability.RepairModel(s.repairReads, perDisk, elemBytes, diskMBps, detect)
+		m := reliability.Model{
+			Disks:          s.disks,
+			FaultTolerance: s.tolerance,
+			MTTFDisk:       mttf,
+			MTTR:           repair,
+		}
+		mttdl, err := reliability.MTTDL(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nines := reliability.NinesOfDurability(mttdl, missionDur)
+		fmt.Printf("%-34s %6d %9d %12s %14.3g %8.1f\n",
+			s.name, s.disks, s.tolerance, repair.Round(time.Second),
+			mttdl/8760, nines)
+	}
+
+	// Cross-check the analytic model by simulation on a fast-failing
+	// configuration (full-scale MTTDLs are too long to simulate).
+	fmt.Println("\nModel validation (deliberately fragile parameters):")
+	small := reliability.Model{Disks: 6, FaultTolerance: 1,
+		MTTFDisk: 100 * time.Hour, MTTR: 10 * time.Hour}
+	analytic, _ := reliability.MTTDL(small)
+	sim, err := reliability.SimulateMTTDL(small, 20000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  analytic MTTDL %7.1f h   Monte Carlo %7.1f h   (Δ %.1f%%)\n",
+		analytic, sim, 100*(sim/analytic-1))
+
+	fmt.Println("\nTakeaways: EC-FRM inherits its candidate's tolerance and repair cost, so")
+	fmt.Println("its durability equals the standard form's exactly. LRC's local parities")
+	fmt.Println("shorten rebuilds, but its extra parity disk adds failure exposure — at equal")
+	fmt.Println("tolerance RS stays slightly more durable; LRC's win is repair I/O and")
+	fmt.Println("degraded reads, which is precisely how the Azure paper sells it.")
+}

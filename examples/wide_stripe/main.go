@@ -1,0 +1,64 @@
+// Wide-stripe example: GF(2^8) caps a code at 256 elements per row, which
+// the paper never hits at Table I scale — but cloud deployments that stripe
+// across hundreds of disks do. This example uses the GF(2^16) substrate to
+// build RS(300,20), far past the byte-field limit, and round-trips a
+// 20-erasure recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/gf16"
+)
+
+func main() {
+	const k, m = 300, 20
+	code, err := gf16.NewRS(k, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wide Reed-Solomon over GF(2^16): k=%d data + m=%d parity = %d shards\n",
+		code.K(), code.M(), code.K()+code.M())
+	fmt.Printf("storage overhead %.3fx — impossible over GF(2^8), which allows at most 256 shards\n\n",
+		float64(k+m)/float64(k))
+
+	// 300 data shards of 4096 symbols (8 KiB each).
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]uint16, k)
+	for i := range data {
+		data[i] = make([]uint16, 4096)
+		for j := range data[i] {
+			data[i][j] = uint16(rng.Intn(1 << 16))
+		}
+	}
+	parity, err := code.Encode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := append(append([][]uint16{}, data...), parity...)
+	fmt.Printf("encoded %d KiB of data into %d parity shards\n", k*8, len(parity))
+
+	// Erase the maximum m shards at random and reconstruct.
+	shards := make([][]uint16, len(full))
+	for i, s := range full {
+		shards[i] = append([]uint16(nil), s...)
+	}
+	erased := rng.Perm(k + m)[:m]
+	for _, e := range erased {
+		shards[e] = nil
+	}
+	fmt.Printf("erased %d shards: %v...\n", m, erased[:6])
+	if err := code.Reconstruct(shards); err != nil {
+		log.Fatal(err)
+	}
+	for i := range full {
+		for j := range full[i] {
+			if shards[i][j] != full[i][j] {
+				log.Fatalf("shard %d symbol %d mismatch", i, j)
+			}
+		}
+	}
+	fmt.Println("all 320 shards verified after recovery — wide-stripe MDS holds")
+}

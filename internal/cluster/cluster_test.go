@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disksim"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/workload"
+)
+
+func testScheme(t testing.TB, form layout.Form) *core.Scheme {
+	t.Helper()
+	return core.MustScheme(lrc.Must(6, 2, 2), form)
+}
+
+func noJitterCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Disk.PositioningJitter = 0
+	cfg.Disk.BandwidthJitter = 0
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.NodeLinkMBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero node link validated")
+	}
+	bad = DefaultConfig()
+	bad.ClientLinkMBps = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative client link validated")
+	}
+	bad = DefaultConfig()
+	bad.Disk.BandwidthMBps = 0
+	if _, err := New(testScheme(t, layout.FormECFRM), bad); err == nil {
+		t.Fatal("bad disk config accepted")
+	}
+}
+
+func TestReadDiskBoundRegime(t *testing.T) {
+	// Fat links (default): the disk term dominates, and the 8-element
+	// Figure 7(a) read on EC-FRM beats standard exactly as in the single-
+	// box model.
+	cfg := noJitterCfg()
+	std, err := New(testScheme(t, layout.FormStandard), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frm, err := New(testScheme(t, layout.FormECFRM), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := std.Read(0, 8, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := frm.Read(0, 8, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.DiskBound || !rf.DiskBound {
+		t.Fatal("fat links must leave requests disk-bound")
+	}
+	if rf.Time >= rs.Time {
+		t.Fatalf("EC-FRM %v not faster than standard %v when disk-bound", rf.Time, rs.Time)
+	}
+	if rs.NetworkBytes != 8<<20 || rf.NetworkBytes != 8<<20 {
+		t.Fatal("normal reads must move exactly the payload")
+	}
+}
+
+func TestReadNetworkBoundRegimeConverges(t *testing.T) {
+	// Starve the client link: every layout is bottlenecked identically and
+	// the EC-FRM advantage vanishes (the paper's "sufficient bandwidth"
+	// scoping, inverted).
+	cfg := noJitterCfg()
+	cfg.ClientLinkMBps = 10 // 10 MB/s ingress
+	std, _ := New(testScheme(t, layout.FormStandard), cfg)
+	frm, _ := New(testScheme(t, layout.FormECFRM), cfg)
+	rs, err := std.Read(0, 8, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := frm.Read(0, 8, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DiskBound || rf.DiskBound {
+		t.Fatal("starved client link must be the bottleneck")
+	}
+	if rs.Time != rf.Time {
+		t.Fatalf("network-bound forms must converge: %v vs %v", rs.Time, rf.Time)
+	}
+}
+
+func TestDegradedReadMovesCostTimesPayload(t *testing.T) {
+	cfg := noJitterCfg()
+	cl, _ := New(testScheme(t, layout.FormECFRM), cfg)
+	// A single lost element read in isolation needs its whole local
+	// recovery set from the network: 3 reads for 1 element.
+	res, err := cl.Read(2, 1, 1<<20, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetworkBytes != 3<<20 {
+		t.Fatalf("isolated lost element moved %d bytes, want 3 MiB (local set)", res.NetworkBytes)
+	}
+	// A large request amortizes: the recovery set overlaps the request and
+	// network bytes equal the planner's total reads exactly.
+	res, err = cl.Read(0, 10, 1<<20, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cl.Scheme().PlanDegradedRead(0, 10, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetworkBytes != plan.TotalReads()<<20 {
+		t.Fatalf("network bytes %d != total reads × elem %d", res.NetworkBytes, plan.TotalReads()<<20)
+	}
+}
+
+func TestNodeLinkBottleneck(t *testing.T) {
+	// A slow node link on a 2-element node adds serialization the disk
+	// model alone would not show.
+	cfg := noJitterCfg()
+	slow := cfg
+	slow.NodeLinkMBps = 20
+	fast, _ := New(testScheme(t, layout.FormStandard), cfg)
+	throttled, _ := New(testScheme(t, layout.FormStandard), slow)
+	rf, _ := fast.Read(0, 12, 1<<20, nil)
+	rt, _ := throttled.Read(0, 12, 1<<20, nil)
+	if rt.Time <= rf.Time {
+		t.Fatalf("throttled node links %v not slower than fat %v", rt.Time, rf.Time)
+	}
+}
+
+func TestGainErodesAsClientLinkShrinks(t *testing.T) {
+	// Sweep the client link from fat to thin: EC-FRM's relative gain over
+	// standard must be monotonically non-increasing (within tolerance).
+	gen := workload.MustGenerator(workload.Config{TotalElements: 300, Disks: 10, Seed: 4})
+	trials := gen.NormalSeries(150)
+	gain := func(clientMBps float64) float64 {
+		cfg := noJitterCfg()
+		cfg.ClientLinkMBps = clientMBps
+		std, _ := New(testScheme(t, layout.FormStandard), cfg)
+		frm, _ := New(testScheme(t, layout.FormECFRM), cfg)
+		var ts, tf time.Duration
+		for _, tr := range trials {
+			rs, err := std.Read(tr.Start, tr.Count, 1<<20, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := frm.Read(tr.Start, tr.Count, 1<<20, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts += rs.Time
+			tf += rf.Time
+		}
+		return float64(ts)/float64(tf) - 1
+	}
+	fat := gain(1250)
+	mid := gain(100)
+	thin := gain(25)
+	if fat < 0.15 {
+		t.Fatalf("fat-link gain %.2f implausibly small", fat)
+	}
+	if !(fat >= mid && mid >= thin) {
+		t.Fatalf("gain not eroding with client bandwidth: fat %.3f mid %.3f thin %.3f", fat, mid, thin)
+	}
+	if thin > 0.02 {
+		t.Fatalf("thin-link gain %.3f should be near zero", thin)
+	}
+}
+
+func TestNewRejectsBadArray(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Disk = disksim.Config{BandwidthMBps: -5}
+	if _, err := New(testScheme(t, layout.FormECFRM), cfg); err == nil {
+		t.Fatal("invalid disk model accepted")
+	}
+}

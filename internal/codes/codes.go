@@ -1,0 +1,351 @@
+// Package codes defines the candidate-code abstraction of the EC-FRM paper
+// (§IV-A) and a shared generator-matrix engine the concrete codes build on.
+//
+// A candidate code is a systematic one-row erasure code: a row holds n
+// elements, the first k of which are data and the remaining n-k parity.
+// Reed-Solomon (k,m) and Azure LRC (k,l,m) are the two candidates the paper
+// integrates; both are expressed here through an n×k generator matrix G whose
+// first k rows are the identity, so element i of a row equals G.Row(i)·data.
+//
+// All erasure decoding is done generically: an element is recoverable from a
+// surviving set exactly when its generator row lies in the row span of the
+// survivors' rows (matrix.SpanSolve). This handles MDS and non-MDS
+// candidates (LRC) uniformly, including LRC's beyond-guarantee recoverable
+// patterns.
+package codes
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gf"
+	"repro/internal/matrix"
+)
+
+// ErrUnrecoverable is returned when an erasure pattern cannot be decoded.
+var ErrUnrecoverable = errors.New("codes: erasure pattern unrecoverable")
+
+// ErrShardSize is returned when shards passed to Encode/Reconstruct are
+// missing, ragged, or of inconsistent counts.
+var ErrShardSize = errors.New("codes: invalid shard sizes")
+
+// Code is a systematic one-row candidate erasure code.
+type Code interface {
+	// Name identifies the code family and parameters, e.g. "RS(6,3)".
+	Name() string
+	// N is the total number of elements per row.
+	N() int
+	// K is the number of data elements per row.
+	K() int
+	// FaultTolerance is the largest f such that EVERY f-element erasure
+	// pattern is decodable. MDS codes have f = N-K; LRC has f < N-K but
+	// recovers many larger patterns too (see CanRecover).
+	FaultTolerance() int
+	// Generator returns the n×k generator matrix (first k rows identity).
+	// The returned matrix must not be modified.
+	Generator() *matrix.Matrix
+	// Encode computes the n-k parity shards for k equally sized data shards.
+	Encode(data [][]byte) ([][]byte, error)
+	// Reconstruct rebuilds every nil shard in the length-n slice in place,
+	// given the non-nil survivors. Returns ErrUnrecoverable if the pattern
+	// is information-theoretically lost.
+	Reconstruct(shards [][]byte) error
+	// ReconstructElements rebuilds only the listed target elements in
+	// place, succeeding whenever those targets (not necessarily every
+	// erased shard) are decodable from the survivors.
+	ReconstructElements(shards [][]byte, targets []int) error
+	// CanRecover reports whether the given erased element indices are
+	// jointly decodable from the survivors.
+	CanRecover(erased []int) bool
+	// RecoverySets returns candidate read sets for rebuilding element idx
+	// when idx alone is erased, cheapest (fewest reads) first. Every set
+	// consists of surviving element indices that suffice to rebuild idx.
+	// At least one set is always returned for a valid code.
+	RecoverySets(idx int) [][]int
+	// ApplyDelta folds an in-place update of data element elem into the
+	// parity shards: given delta = newData XOR oldData, each parity shard
+	// p becomes p + coeff(p, elem)·delta. This is the classic
+	// read-modify-write small-write path: the data disks other than elem
+	// are never touched.
+	ApplyDelta(parity [][]byte, elem int, delta []byte) error
+}
+
+// Base implements the generator-matrix-driven parts of Code. Concrete codes
+// embed it and supply Name and RecoverySets.
+type Base struct {
+	gen *matrix.Matrix // n×k, first k rows identity
+	n   int
+	k   int
+	ft  int
+	// decodeCache memoizes SpanSolve coefficient matrices keyed by the
+	// (available, targets) bitmask pair — a storage system repairs the
+	// same failure pattern for every stripe, so the solve is paid once.
+	// Only used when n ≤ 64 (one word per mask). Safe for concurrent use.
+	decodeCache sync.Map // [2]uint64 → *matrix.Matrix
+}
+
+// NewBase wraps an n×k systematic generator matrix. It panics if the first
+// k rows are not the identity (the codes own their constructors, so a
+// violation is a programming error, not an input error). Fault tolerance is
+// computed by exhaustive search over erasure patterns, which is affordable
+// for the storage-system scale parameters this repo targets (n ≤ ~20).
+func NewBase(gen *matrix.Matrix) *Base {
+	n, k := gen.Rows(), gen.Cols()
+	if n < k || k < 1 {
+		panic(fmt.Sprintf("codes: invalid generator %d×%d", n, k))
+	}
+	if !gen.SubMatrix(0, k, 0, k).IsIdentity() {
+		panic("codes: generator is not systematic")
+	}
+	b := &Base{gen: gen, n: n, k: k}
+	b.ft = b.computeFaultTolerance()
+	return b
+}
+
+// N returns the total number of elements per row.
+func (b *Base) N() int { return b.n }
+
+// K returns the number of data elements per row.
+func (b *Base) K() int { return b.k }
+
+// FaultTolerance returns the guaranteed erasure tolerance.
+func (b *Base) FaultTolerance() int { return b.ft }
+
+// Generator returns the generator matrix. Callers must not modify it.
+func (b *Base) Generator() *matrix.Matrix { return b.gen }
+
+// solveCoefficients returns the SpanSolve coefficient matrix expressing the
+// target rows in terms of the available rows, memoized per pattern when the
+// code is narrow enough to key with single-word bitmasks.
+func (b *Base) solveCoefficients(avail, targets []int) (*matrix.Matrix, error) {
+	var key [2]uint64
+	cacheable := b.n <= 64
+	if cacheable {
+		for _, a := range avail {
+			key[0] |= 1 << uint(a)
+		}
+		for _, t := range targets {
+			key[1] |= 1 << uint(t)
+		}
+		if v, ok := b.decodeCache.Load(key); ok {
+			return v.(*matrix.Matrix), nil
+		}
+	}
+	coeff, err := matrix.SpanSolve(b.gen.SelectRows(avail), b.gen.SelectRows(targets))
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		b.decodeCache.Store(key, coeff)
+	}
+	return coeff, nil
+}
+
+// Encode computes the parity shards for the given data shards.
+func (b *Base) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != b.k {
+		return nil, fmt.Errorf("%w: got %d data shards, want %d", ErrShardSize, len(data), b.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			return nil, fmt.Errorf("%w: data shard %d is nil", ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(d)
+		} else if len(d) != size {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(d), size)
+		}
+	}
+	parity := make([][]byte, b.n-b.k)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+	}
+	pm := b.gen.SubMatrix(b.k, b.n, 0, b.k)
+	pm.MulVec(parity, data)
+	return parity, nil
+}
+
+// Reconstruct rebuilds nil shards in place. shards must have length n.
+func (b *Base) Reconstruct(shards [][]byte) error {
+	if len(shards) != b.n {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), b.n)
+	}
+	var avail, erased []int
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			erased = append(erased, i)
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+		avail = append(avail, i)
+	}
+	if len(erased) == 0 {
+		return nil
+	}
+	if size == -1 {
+		return fmt.Errorf("%w: all shards erased", ErrShardSize)
+	}
+	coeff, err := b.solveCoefficients(avail, erased)
+	if err != nil {
+		return fmt.Errorf("%w: erased %v", ErrUnrecoverable, erased)
+	}
+	availShards := make([][]byte, len(avail))
+	for i, a := range avail {
+		availShards[i] = shards[a]
+	}
+	out := make([][]byte, len(erased))
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	coeff.MulVec(out, availShards)
+	for i, e := range erased {
+		shards[e] = out[i]
+	}
+	return nil
+}
+
+// ReconstructElements rebuilds only the listed target elements from the
+// non-nil shards, writing the results into shards. Unlike Reconstruct it
+// succeeds as long as the *targets* are in the span of the survivors, even
+// when other erased elements are unrecoverable — exactly the degraded-read
+// situation, where a minimal recovery set was read and nothing else.
+func (b *Base) ReconstructElements(shards [][]byte, targets []int) error {
+	if len(shards) != b.n {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), b.n)
+	}
+	var avail []int
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+		avail = append(avail, i)
+	}
+	var missing []int
+	for _, t := range targets {
+		if t < 0 || t >= b.n {
+			return fmt.Errorf("%w: target %d out of [0,%d)", ErrShardSize, t, b.n)
+		}
+		if shards[t] == nil {
+			missing = append(missing, t)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if size == -1 {
+		return fmt.Errorf("%w: all shards erased", ErrShardSize)
+	}
+	coeff, err := b.solveCoefficients(avail, missing)
+	if err != nil {
+		return fmt.Errorf("%w: targets %v", ErrUnrecoverable, missing)
+	}
+	availShards := make([][]byte, len(avail))
+	for i, a := range avail {
+		availShards[i] = shards[a]
+	}
+	out := make([][]byte, len(missing))
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	coeff.MulVec(out, availShards)
+	for i, t := range missing {
+		shards[t] = out[i]
+	}
+	return nil
+}
+
+// ApplyDelta updates the n-k parity shards for an in-place change of data
+// element elem, where delta is newData XOR oldData.
+func (b *Base) ApplyDelta(parity [][]byte, elem int, delta []byte) error {
+	if len(parity) != b.n-b.k {
+		return fmt.Errorf("%w: got %d parity shards, want %d", ErrShardSize, len(parity), b.n-b.k)
+	}
+	if elem < 0 || elem >= b.k {
+		return fmt.Errorf("%w: data element %d out of [0,%d)", ErrShardSize, elem, b.k)
+	}
+	for t, p := range parity {
+		if len(p) != len(delta) {
+			return fmt.Errorf("%w: parity %d has %d bytes, delta %d", ErrShardSize, t, len(p), len(delta))
+		}
+	}
+	for t, p := range parity {
+		gf.MulAddSlice(b.gen.At(b.k+t, elem), p, delta)
+	}
+	return nil
+}
+
+// CanRecover reports whether the erasure pattern is decodable.
+func (b *Base) CanRecover(erased []int) bool {
+	if len(erased) == 0 {
+		return true
+	}
+	mark := make([]bool, b.n)
+	for _, e := range erased {
+		if e < 0 || e >= b.n {
+			return false
+		}
+		mark[e] = true
+	}
+	avail := make([]int, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		if !mark[i] {
+			avail = append(avail, i)
+		}
+	}
+	_, err := matrix.SpanSolve(b.gen.SelectRows(avail), b.gen.SelectRows(erased))
+	return err == nil
+}
+
+// computeFaultTolerance finds the largest f such that every f-subset of
+// elements is recoverable, by exhaustive enumeration.
+func (b *Base) computeFaultTolerance() int {
+	for f := 1; f <= b.n-b.k; f++ {
+		if !b.allPatternsRecoverable(f) {
+			return f - 1
+		}
+	}
+	return b.n - b.k
+}
+
+func (b *Base) allPatternsRecoverable(f int) bool {
+	idx := make([]int, f)
+	ok := true
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if !ok {
+			return
+		}
+		if depth == f {
+			if !b.CanRecover(idx) {
+				ok = false
+			}
+			return
+		}
+		for i := start; i <= b.n-(f-depth); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return ok
+}
+
+// VerifySet reports whether the surviving set `set` suffices to rebuild
+// element idx. Used by tests and by planners validating recovery sets.
+func (b *Base) VerifySet(idx int, set []int) bool {
+	_, err := matrix.SpanSolve(b.gen.SelectRows(set), b.gen.SelectRows([]int{idx}))
+	return err == nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ParallelCodec encodes and reconstructs batches of stripes concurrently.
+// Stripes are independent by construction (groups never span stripes), so
+// the batch parallelizes embarrassingly; the codec fans work out to a fixed
+// worker pool to bound memory and scheduler pressure. The zero value is not
+// usable; construct with Scheme.NewParallelCodec.
+//
+// The codec itself is safe for concurrent use: each call spawns its own
+// workers and shares no mutable state.
+type ParallelCodec struct {
+	scheme  *Scheme
+	workers int
+}
+
+// NewParallelCodec returns a codec running at most workers stripe
+// operations concurrently; workers ≤ 0 selects GOMAXPROCS.
+func (s *Scheme) NewParallelCodec(workers int) *ParallelCodec {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelCodec{scheme: s, workers: workers}
+}
+
+// Workers returns the concurrency limit.
+func (pc *ParallelCodec) Workers() int { return pc.workers }
+
+// forEach runs fn over [0,n) on the worker pool, collecting the first error.
+func (pc *ParallelCodec) forEach(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := pc.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		mu   sync.Mutex
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return err
+}
+
+// EncodeStripes encodes a batch: stripes[i] is one stripe's data shards
+// (DataPerStripe() equally sized slices). The result holds one cell slice
+// per stripe, in order.
+func (pc *ParallelCodec) EncodeStripes(stripes [][][]byte) ([][][]byte, error) {
+	out := make([][][]byte, len(stripes))
+	err := pc.forEach(len(stripes), func(i int) error {
+		cells, e := pc.scheme.EncodeStripe(stripes[i])
+		if e != nil {
+			return fmt.Errorf("stripe %d: %w", i, e)
+		}
+		out[i] = cells
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReconstructStripes rebuilds the nil cells of every stripe in the batch in
+// place.
+func (pc *ParallelCodec) ReconstructStripes(stripes [][][]byte) error {
+	return pc.forEach(len(stripes), func(i int) error {
+		if e := pc.scheme.ReconstructStripe(stripes[i]); e != nil {
+			return fmt.Errorf("stripe %d: %w", i, e)
+		}
+		return nil
+	})
+}

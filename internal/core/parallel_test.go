@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+)
+
+func makeBatch(t testing.TB, s *Scheme, stripes, size int, seed int64) [][][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	batch := make([][][]byte, stripes)
+	for i := range batch {
+		batch[i] = randData(rng, s.DataPerStripe(), size)
+	}
+	return batch
+}
+
+func TestParallelCodecWorkers(t *testing.T) {
+	s := MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	if got := s.NewParallelCodec(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d", got)
+	}
+	if got := s.NewParallelCodec(3).Workers(); got != 3 {
+		t.Fatalf("workers = %d", got)
+	}
+}
+
+func TestParallelEncodeMatchesSerial(t *testing.T) {
+	s := MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM)
+	batch := makeBatch(t, s, 17, 64, 80)
+	pc := s.NewParallelCodec(4)
+	got, err := pc.EncodeStripes(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range batch {
+		want, err := s.EncodeStripe(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if !bytes.Equal(got[i][c], want[c]) {
+				t.Fatalf("stripe %d cell %d differs from serial encode", i, c)
+			}
+		}
+	}
+}
+
+func TestParallelEncodeEmptyBatch(t *testing.T) {
+	s := MustScheme(rs.Must(4, 3), layout.FormStandard)
+	out, err := s.NewParallelCodec(2).EncodeStripes(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %d", err, len(out))
+	}
+}
+
+func TestParallelEncodePropagatesError(t *testing.T) {
+	s := MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	batch := makeBatch(t, s, 5, 32, 81)
+	batch[3] = batch[3][:2] // wrong shard count
+	if _, err := s.NewParallelCodec(4).EncodeStripes(batch); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestParallelReconstruct(t *testing.T) {
+	s := MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM)
+	batch := makeBatch(t, s, 9, 48, 82)
+	pc := s.NewParallelCodec(8)
+	cells, err := pc.EncodeStripes(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep originals, erase three whole disks in every stripe.
+	orig := make([][][]byte, len(cells))
+	n := s.N()
+	for i := range cells {
+		orig[i] = append([][]byte{}, cells[i]...)
+		for c := range cells[i] {
+			if c%n == 1 || c%n == 5 || c%n == 8 {
+				cells[i][c] = nil
+			}
+		}
+	}
+	if err := pc.ReconstructStripes(cells); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		for c := range cells[i] {
+			if !bytes.Equal(cells[i][c], orig[i][c]) {
+				t.Fatalf("stripe %d cell %d mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestParallelReconstructError(t *testing.T) {
+	s := MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	batch := makeBatch(t, s, 3, 16, 83)
+	pc := s.NewParallelCodec(2)
+	cells, err := pc.EncodeStripes(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.N()
+	for c := range cells[1] {
+		if c%n < 4 { // 4 disks > tolerance 3
+			cells[1][c] = nil
+		}
+	}
+	if err := pc.ReconstructStripes(cells); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestParallelRace(t *testing.T) {
+	// Concurrent use of one codec from multiple goroutines (run with
+	// -race to exercise).
+	s := MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	pc := s.NewParallelCodec(4)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			batch := makeBatch(t, s, 6, 32, seed)
+			_, err := pc.EncodeStripes(batch)
+			done <- err
+		}(int64(90 + g))
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelEncode(b *testing.B) {
+	s := MustScheme(rs.Must(10, 5), layout.FormECFRM)
+	rng := rand.New(rand.NewSource(84))
+	batch := make([][][]byte, 32)
+	for i := range batch {
+		batch[i] = randData(rng, s.DataPerStripe(), 64<<10)
+	}
+	bytesPer := int64(32 * s.DataPerStripe() * (64 << 10))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			pc := s.NewParallelCodec(workers)
+			b.SetBytes(bytesPer)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pc.EncodeStripes(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,331 @@
+// Package crs implements Cauchy Reed-Solomon coding (Blömer et al. 1995),
+// the XOR-based horizontal code the EC-FRM paper surveys in §II-B: the
+// GF(2^w) Cauchy generator is expanded into a GF(2) bit matrix, each element
+// is split into w packets, and encoding becomes pure XOR of packets — no
+// field multiplications on the data path. This mirrors Jerasure's
+// cauchy_original coding path.
+//
+// CRS(k,m) is the same linear code as the matrix Reed-Solomon in
+// internal/rs built from the same Cauchy block, so it is MDS and slots into
+// EC-FRM as a candidate code; what changes is the encode/decode kernel.
+package crs
+
+import (
+	"fmt"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/codes"
+	"repro/internal/gf"
+	"repro/internal/matrix"
+)
+
+// W is the symbol width in bits. Elements are split into W packets; shard
+// sizes must be multiples of W bytes.
+const W = 8
+
+// Code is a Cauchy Reed-Solomon code with parameters (k, m).
+type Code struct {
+	*codes.Base
+	k, m int
+	// bitGen is the (n·W)×(k·W) binary generator; rows of element i are
+	// bit-rows [i·W, (i+1)·W).
+	bitGen *bitmatrix.Matrix
+	// sched is the precomputed XOR schedule for EncodeScheduled.
+	sched *Schedule
+}
+
+// New constructs CRS(k,m).
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("crs: invalid parameters k=%d m=%d", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("crs: k+m = %d exceeds field size 256", k+m)
+	}
+	gen := matrix.Identity(k).Stack(matrix.Cauchy(m, k))
+	c := &Code{Base: codes.NewBase(gen), k: k, m: m}
+	c.bitGen = expand(gen)
+	c.sched = buildSchedule(
+		selectCols(c.bitGen.SelectRows(rowRange(k*W, (k+m)*W)), 0, k*W), k, m)
+	return c, nil
+}
+
+// Must constructs CRS(k,m) and panics on invalid parameters.
+func Must(k, m int) *Code {
+	c, err := New(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns "CRS(k,m)".
+func (c *Code) Name() string { return fmt.Sprintf("CRS(%d,%d)", c.k, c.m) }
+
+// M returns the number of parity elements per row.
+func (c *Code) M() int { return c.m }
+
+// BitGenerator returns the binary generator matrix. Callers must not modify
+// it.
+func (c *Code) BitGenerator() *bitmatrix.Matrix { return c.bitGen }
+
+// XORCount returns the number of packet XORs one stripe encode performs —
+// the cost metric CRS constructions optimize (set bits in the parity block
+// beyond the first contribution of each output packet).
+func (c *Code) XORCount() int {
+	count := 0
+	for i := c.k * W; i < (c.k+c.m)*W; i++ {
+		w := c.bitGen.RowWeight(i)
+		if w > 0 {
+			count += w - 1
+		}
+	}
+	return count
+}
+
+// expand converts a GF(2^W) matrix into its binary equivalent: each field
+// element a becomes the W×W companion block whose column j holds the bits of
+// a·x^j, so block-vector products over GF(2) agree with field products.
+func expand(m *matrix.Matrix) *bitmatrix.Matrix {
+	out := bitmatrix.New(m.Rows()*W, m.Cols()*W)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			a := m.At(i, j)
+			if a == 0 {
+				continue
+			}
+			for col := 0; col < W; col++ {
+				v := gf.Mul(a, gf.Exp(2, col)) // a·x^col
+				for row := 0; row < W; row++ {
+					if v>>uint(row)&1 == 1 {
+						out.Set(i*W+row, j*W+col, true)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// packets splits a shard into W equal packets (packet p holds bit-plane p's
+// bytes: Jerasure's layout is simply W contiguous sub-blocks).
+func packets(shard []byte) [][]byte {
+	plen := len(shard) / W
+	out := make([][]byte, W)
+	for p := 0; p < W; p++ {
+		out[p] = shard[p*plen : (p+1)*plen]
+	}
+	return out
+}
+
+// Encode computes parity shards using only XOR operations on packets. Shard
+// sizes must be multiples of W bytes.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data shards, want %d", codes.ErrShardSize, len(data), c.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			return nil, fmt.Errorf("%w: data shard %d is nil", codes.ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(d)
+		}
+		if len(d) != size {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(d), size)
+		}
+	}
+	if size%W != 0 {
+		return nil, fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
+	}
+	in := make([][]byte, 0, c.k*W)
+	for _, d := range data {
+		in = append(in, packets(d)...)
+	}
+	parity := make([][]byte, c.m)
+	out := make([][]byte, 0, c.m*W)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+		out = append(out, packets(parity[i])...)
+	}
+	// Parity bit-rows are rows [k·W, n·W) of the binary generator; their
+	// data-column block is all we need since the left block is identity.
+	parityBits := c.bitGen.SelectRows(rowRange(c.k*W, (c.k+c.m)*W))
+	sub := selectCols(parityBits, 0, c.k*W)
+	sub.MulVec(out, in)
+	return parity, nil
+}
+
+// Reconstruct rebuilds every nil shard. CRS shards use the packet layout
+// (W bit-plane sub-blocks per element), so decoding must go through the
+// binary generator as well; this overrides the embedded field-arithmetic
+// decoder with the XOR path.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	return c.ReconstructXOR(shards)
+}
+
+// ReconstructElements rebuilds the targets (and, as a side effect of the
+// XOR decode, any other recoverable nil shard). For an MDS code the targets
+// are recoverable exactly when at least k survivors exist, so delegating to
+// the full decode loses no generality.
+func (c *Code) ReconstructElements(shards [][]byte, targets []int) error {
+	for _, t := range targets {
+		if t < 0 || t >= c.k+c.m {
+			return fmt.Errorf("%w: target %d out of range", codes.ErrShardSize, t)
+		}
+	}
+	return c.ReconstructXOR(shards)
+}
+
+// ReconstructXOR rebuilds every nil shard using the pure-XOR decode path:
+// pick k surviving elements, invert their k·W×k·W binary sub-generator,
+// recover the data packets, and re-encode the erased elements. It fails
+// with codes.ErrUnrecoverable beyond m erasures.
+func (c *Code) ReconstructXOR(shards [][]byte) error {
+	n := c.k + c.m
+	if len(shards) != n {
+		return fmt.Errorf("%w: got %d shards, want %d", codes.ErrShardSize, len(shards), n)
+	}
+	var avail, erased []int
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			erased = append(erased, i)
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		}
+		if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(s), size)
+		}
+		avail = append(avail, i)
+	}
+	if len(erased) == 0 {
+		return nil
+	}
+	if len(avail) < c.k {
+		return fmt.Errorf("%w: only %d survivors for k=%d", codes.ErrUnrecoverable, len(avail), c.k)
+	}
+	if size%W != 0 {
+		return fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
+	}
+	use := avail[:c.k]
+	var bitRows []int
+	for _, e := range use {
+		bitRows = append(bitRows, rowRange(e*W, (e+1)*W)...)
+	}
+	sub := c.bitGen.SelectRows(bitRows)
+	inv, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("%w: survivor sub-generator singular", codes.ErrUnrecoverable)
+	}
+	// Recover all data packets.
+	in := make([][]byte, 0, c.k*W)
+	for _, e := range use {
+		in = append(in, packets(shards[e])...)
+	}
+	dataShards := make([][]byte, c.k)
+	dataPk := make([][]byte, 0, c.k*W)
+	for i := range dataShards {
+		dataShards[i] = make([]byte, size)
+		dataPk = append(dataPk, packets(dataShards[i])...)
+	}
+	inv.MulVec(dataPk, in)
+	// Re-emit the erased elements from the recovered data.
+	for _, e := range erased {
+		shard := make([]byte, size)
+		outPk := packets(shard)
+		var rows []int
+		rows = append(rows, rowRange(e*W, (e+1)*W)...)
+		selectCols(c.bitGen.SelectRows(rows), 0, c.k*W).MulVec(outPk, dataPk)
+		shards[e] = shard
+	}
+	return nil
+}
+
+// ApplyDelta folds an update of data element elem into the parity shards
+// through the binary generator: each parity element's W×W block for elem is
+// applied to the delta's packets and XORed in. Pure XOR, like the encode.
+func (c *Code) ApplyDelta(parity [][]byte, elem int, delta []byte) error {
+	if len(parity) != c.m {
+		return fmt.Errorf("%w: got %d parity shards, want %d", codes.ErrShardSize, len(parity), c.m)
+	}
+	if elem < 0 || elem >= c.k {
+		return fmt.Errorf("%w: data element %d out of [0,%d)", codes.ErrShardSize, elem, c.k)
+	}
+	if len(delta)%W != 0 {
+		return fmt.Errorf("%w: delta size %d not a multiple of %d", codes.ErrShardSize, len(delta), W)
+	}
+	for t, p := range parity {
+		if len(p) != len(delta) {
+			return fmt.Errorf("%w: parity %d has %d bytes, delta %d", codes.ErrShardSize, t, len(p), len(delta))
+		}
+	}
+	deltaPk := packets(delta)
+	buf := make([]byte, len(delta))
+	for t := 0; t < c.m; t++ {
+		block := selectCols(c.bitGen.SelectRows(rowRange((c.k+t)*W, (c.k+t+1)*W)), elem*W, (elem+1)*W)
+		block.MulVec(packets(buf), deltaPk) // MulVec zeroes buf's packets first
+		p := parity[t]
+		for i := range p {
+			p[i] ^= buf[i]
+		}
+	}
+	return nil
+}
+
+// rowRange returns [lo, hi).
+func rowRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// selectCols copies columns [lo,hi) of m into a new matrix.
+func selectCols(m *bitmatrix.Matrix, lo, hi int) *bitmatrix.Matrix {
+	out := bitmatrix.New(m.Rows(), hi-lo)
+	for i := 0; i < m.Rows(); i++ {
+		for j := lo; j < hi; j++ {
+			if m.At(i, j) {
+				out.Set(i, j-lo, true)
+			}
+		}
+	}
+	return out
+}
+
+// RecoverySets mirrors rs.Code: data-heavy sets first, then cyclic windows.
+func (c *Code) RecoverySets(idx int) [][]int {
+	n := c.k + c.m
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("crs: element %d out of [0,%d)", idx, n))
+	}
+	var sets [][]int
+	otherData := make([]int, 0, c.k)
+	for j := 0; j < c.k; j++ {
+		if j != idx {
+			otherData = append(otherData, j)
+		}
+	}
+	if idx < c.k {
+		for p := c.k; p < n; p++ {
+			sets = append(sets, append(append([]int{}, otherData...), p))
+		}
+	} else {
+		sets = append(sets, otherData)
+	}
+	for t := 0; t < n-c.k; t++ {
+		set := make([]int, 0, c.k)
+		for j := 0; j < c.k; j++ {
+			set = append(set, (idx+1+t+j)%n)
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+var _ codes.Code = (*Code)(nil)

@@ -1,0 +1,168 @@
+package crs
+
+import (
+	"fmt"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/codes"
+)
+
+// Op is one step of an XOR schedule. If Copy is true the destination packet
+// is overwritten with the source; otherwise the source is XORed in.
+// Sources index the unified packet space: data packets are [0, k·W), output
+// (parity) packets [k·W, n·W).
+type Op struct {
+	Dst  int
+	Src  int
+	Copy bool
+}
+
+// Schedule is a precomputed XOR program that produces the parity packets of
+// one stripe. It mirrors Jerasure's "smart scheduling": instead of XORing
+// every set bit of each parity bit-row from scratch, a row may start from a
+// previously computed parity row and apply only the differing inputs, which
+// shrinks the XOR count whenever adjacent rows overlap (Cauchy rows overlap
+// heavily by construction).
+type Schedule struct {
+	k, m int
+	ops  []Op
+}
+
+// Ops returns the number of XOR/copy operations in the schedule.
+func (s *Schedule) Ops() int { return len(s.ops) }
+
+// buildSchedule derives a schedule from the parity block of the binary
+// generator (rows = m·W parity bit-rows over k·W data columns) using a
+// greedy nearest-base heuristic: each output row is computed either directly
+// from its inputs or as a delta from an already computed output row,
+// whichever costs fewer XORs.
+func buildSchedule(parityBits *bitmatrix.Matrix, k, m int) *Schedule {
+	rowsN := parityBits.Rows()
+	colsN := parityBits.Cols()
+	sched := &Schedule{k: k, m: m}
+	rowBits := func(r int) []bool {
+		out := make([]bool, colsN)
+		for j := 0; j < colsN; j++ {
+			out[j] = parityBits.At(r, j)
+		}
+		return out
+	}
+	computed := make([][]bool, 0, rowsN)
+	for r := 0; r < rowsN; r++ {
+		bits := rowBits(r)
+		direct := 0
+		for _, b := range bits {
+			if b {
+				direct++
+			}
+		}
+		// Direct cost: first input is a copy, the rest XORs → `direct` ops.
+		bestCost := direct
+		bestBase := -1
+		for base, bbits := range computed {
+			diff := 0
+			for j := 0; j < colsN; j++ {
+				if bits[j] != bbits[j] {
+					diff++
+				}
+			}
+			// Base copy (1 op) plus one XOR per differing input.
+			if cost := 1 + diff; cost < bestCost {
+				bestCost = cost
+				bestBase = base
+			}
+		}
+		dst := k*W + r
+		if bestBase < 0 {
+			first := true
+			for j := 0; j < colsN; j++ {
+				if bits[j] {
+					sched.ops = append(sched.ops, Op{Dst: dst, Src: j, Copy: first})
+					first = false
+				}
+			}
+			if first {
+				// All-zero row (cannot happen for Cauchy blocks, but keep
+				// the schedule total): emit a self-zeroing copy marker.
+				sched.ops = append(sched.ops, Op{Dst: dst, Src: dst, Copy: true})
+			}
+		} else {
+			sched.ops = append(sched.ops, Op{Dst: dst, Src: k*W + bestBase, Copy: true})
+			base := computed[bestBase]
+			for j := 0; j < colsN; j++ {
+				if bits[j] != base[j] {
+					sched.ops = append(sched.ops, Op{Dst: dst, Src: j})
+				}
+			}
+		}
+		computed = append(computed, bits)
+	}
+	return sched
+}
+
+// Schedule returns the code's precomputed XOR schedule.
+func (c *Code) Schedule() *Schedule { return c.sched }
+
+// NaiveXOROps returns the operation count of the unscheduled encode (one op
+// per set generator bit), for comparison with Schedule().Ops().
+func (c *Code) NaiveXOROps() int {
+	ops := 0
+	for r := c.k * W; r < (c.k+c.m)*W; r++ {
+		ops += c.bitGen.RowWeight(r)
+	}
+	return ops
+}
+
+// EncodeScheduled computes parity shards by running the XOR schedule. The
+// result is bit-identical to Encode but performs fewer XOR passes when rows
+// overlap. Shard sizes must be multiples of W bytes.
+func (c *Code) EncodeScheduled(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data shards, want %d", codes.ErrShardSize, len(data), c.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			return nil, fmt.Errorf("%w: data shard %d is nil", codes.ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(d)
+		}
+		if len(d) != size {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(d), size)
+		}
+	}
+	if size%W != 0 {
+		return nil, fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
+	}
+	// Unified packet table: data packets then parity packets.
+	table := make([][]byte, (c.k+c.m)*W)
+	for i, d := range data {
+		pk := packets(d)
+		copy(table[i*W:(i+1)*W], pk)
+	}
+	parity := make([][]byte, c.m)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+		pk := packets(parity[i])
+		copy(table[(c.k+i)*W:(c.k+i+1)*W], pk)
+	}
+	for _, op := range c.sched.ops {
+		dst := table[op.Dst]
+		if op.Copy {
+			if op.Src == op.Dst {
+				for b := range dst {
+					dst[b] = 0
+				}
+				continue
+			}
+			copy(dst, table[op.Src])
+			continue
+		}
+		src := table[op.Src]
+		for b := range dst {
+			dst[b] ^= src[b]
+		}
+	}
+	return parity, nil
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/workload"
+)
+
+// BandwidthPoint is one cell of the bandwidth-sensitivity sweep.
+type BandwidthPoint struct {
+	ClientLinkMBps float64
+	Form           layout.Form
+	SpeedMBps      float64
+	DiskBoundFrac  float64 // fraction of requests bottlenecked at a node
+}
+
+// BandwidthSweep quantifies the paper's §III scoping assumption ("cloud
+// storage systems with sufficient bandwidth"): the same normal-read trial
+// stream runs through the cluster model at several client ingress
+// bandwidths. With fat links requests are disk-bound and EC-FRM delivers
+// its full gain; as the client link starves, every layout converges to the
+// same wire-limited speed.
+func BandwidthSweep(clientMBps []float64, opt Options) ([]BandwidthPoint, error) {
+	opt = opt.Defaults()
+	code := lrc.Must(6, 2, 2)
+	gen, err := workload.NewGenerator(workload.Config{
+		TotalElements: opt.TotalElements,
+		Disks:         code.N(),
+		MaxSize:       opt.MaxReadSize,
+		Seed:          opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trials := gen.NormalSeries(opt.NormalTrials)
+
+	var out []BandwidthPoint
+	for _, mbps := range clientMBps {
+		for _, form := range []layout.Form{layout.FormStandard, layout.FormECFRM} {
+			scheme := core.MustScheme(code, form)
+			cfg := cluster.DefaultConfig()
+			cfg.Disk = opt.Disk
+			cfg.ClientLinkMBps = mbps
+			cfg.Seed = opt.Seed
+			cl, err := cluster.New(scheme, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var speedSum, diskBound float64
+			for _, tr := range trials {
+				res, err := cl.Read(tr.Start, tr.Count, opt.ElementBytes, nil)
+				if err != nil {
+					return nil, err
+				}
+				speedSum += float64(tr.Count*opt.ElementBytes) / 1e6 / res.Time.Seconds()
+				if res.DiskBound {
+					diskBound++
+				}
+			}
+			n := float64(len(trials))
+			out = append(out, BandwidthPoint{
+				ClientLinkMBps: mbps,
+				Form:           form,
+				SpeedMBps:      speedSum / n,
+				DiskBoundFrac:  diskBound / n,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderBandwidth formats the sweep.
+func RenderBandwidth(points []BandwidthPoint) string {
+	var b strings.Builder
+	b.WriteString("Bandwidth sensitivity (§III scoping): normal reads on (6,2,2) through the cluster model\n")
+	fmt.Fprintf(&b, "%-14s %-10s %12s %12s\n", "client MB/s", "form", "speed MB/s", "disk-bound")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14.0f %-10s %12.1f %11.0f%%\n",
+			p.ClientLinkMBps, p.Form, p.SpeedMBps, 100*p.DiskBoundFrac)
+	}
+	b.WriteString("→ with fat links (the paper's regime) requests are disk-bound and EC-FRM\n")
+	b.WriteString("  wins by its load-balance margin; as the client link starves, both forms\n")
+	b.WriteString("  converge to the wire speed — 'sufficient bandwidth' is load-bearing.\n")
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disksim"
+	"repro/internal/layout"
+	"repro/internal/store"
+)
+
+// RecoveryRow is one (scheme, form) cell of the single-disk recovery
+// experiment.
+type RecoveryRow struct {
+	Scheme string
+	// ReadElements is the number of elements read from survivors to rebuild
+	// one disk's worth of a fixed extent.
+	ReadElements int
+	// RebuiltElements is the number of elements written to the replacement.
+	RebuiltElements int
+	// Amplification is ReadElements / RebuiltElements — the recovery I/O
+	// cost per rebuilt element (k for RS, between k/l and k for LRC
+	// depending on which cells the disk held).
+	Amplification float64
+	// SimTime is the modeled rebuild time: survivors stream their reads in
+	// parallel, the replacement writes sequentially; the slower side bounds.
+	SimTime time.Duration
+}
+
+// RecoverySweep measures single-disk recovery (the §II-D companion metric to
+// degraded reads) for every Table I configuration under standard and EC-FRM
+// forms: fill a store, fail disk 0, rebuild it, and account the observed
+// I/O. The layout must not change recovery amplification (every group loses
+// exactly one element either way); LRC's local parities must cut it well
+// below RS's k×.
+func RecoverySweep(opt Options) ([]RecoveryRow, error) {
+	opt = opt.Defaults()
+	const totalElements = 1200 // fixed data extent so rebuild volumes compare
+	var rows []RecoveryRow
+	specs := append(append([]CodeSpec{}, RSConfigs...), LRCConfigs...)
+	for _, spec := range specs {
+		for _, form := range []layout.Form{layout.FormStandard, layout.FormECFRM} {
+			code, err := spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			scheme, err := core.NewScheme(code, form)
+			if err != nil {
+				return nil, err
+			}
+			st, err := store.New(scheme, 64) // element size irrelevant to counts
+			if err != nil {
+				return nil, err
+			}
+			stripes := (totalElements + scheme.DataPerStripe() - 1) / scheme.DataPerStripe()
+			if err := st.Append(make([]byte, stripes*scheme.DataPerStripe()*64)); err != nil {
+				return nil, err
+			}
+			// Average over every disk: which cells a disk holds (data,
+			// local parity, global parity) determines its rebuild cost, and
+			// the mix per disk differs between the standard and EC-FRM
+			// layouts even though the per-array total is identical.
+			readCost, rebuilt := 0, 0
+			for d := 0; d < scheme.N(); d++ {
+				st.FailDisk(d)
+				cost, err := st.RecoverDisk(d)
+				if err != nil {
+					return nil, err
+				}
+				readCost += cost
+				rebuilt += st.Device(d).Elements()
+			}
+			readCost /= scheme.N()
+			rebuilt /= scheme.N()
+			// Timing model: survivors serve readCost element reads spread
+			// evenly; the replacement absorbs `rebuilt` writes. Use the
+			// disk model's per-element time for both.
+			array, err := disksim.NewArray(scheme.N(), opt.Disk, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			perSurvivor := (readCost + scheme.N() - 2) / (scheme.N() - 1)
+			readTime := array.DiskTime(1, perSurvivor, opt.ElementBytes)
+			writeTime := array.DiskTime(0, rebuilt, opt.ElementBytes)
+			simTime := readTime
+			if writeTime > simTime {
+				simTime = writeTime
+			}
+			rows = append(rows, RecoveryRow{
+				Scheme:          scheme.Name(),
+				ReadElements:    readCost,
+				RebuiltElements: rebuilt,
+				Amplification:   float64(readCost) / float64(rebuilt),
+				SimTime:         simTime,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderRecovery formats the sweep.
+func RenderRecovery(rows []RecoveryRow) string {
+	var b strings.Builder
+	b.WriteString("Single-disk recovery (1200-element extent, averaged over every failed disk)\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %8s %12s\n", "scheme", "reads", "rebuilt", "amp", "sim time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10d %10d %7.2fx %12s\n",
+			r.Scheme, r.ReadElements, r.RebuiltElements, r.Amplification,
+			r.SimTime.Round(time.Millisecond))
+	}
+	b.WriteString("→ recovery amplification depends on the code, not the layout; LRC's local\n")
+	b.WriteString("  parities cut it far below RS's k× (the Azure trade the paper describes).\n")
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package gf16
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mulSlow is an independent bitwise oracle.
+func mulSlow(a, b uint16) uint16 {
+	var prod uint32
+	aa, bb := uint32(a), uint32(b)
+	for bb != 0 {
+		if bb&1 != 0 {
+			prod ^= aa
+		}
+		aa <<= 1
+		if aa&0x10000 != 0 {
+			aa ^= Poly
+		}
+		bb >>= 1
+	}
+	return uint16(prod)
+}
+
+func TestMulAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200000; trial++ {
+		a := uint16(rng.Intn(Order))
+		b := uint16(rng.Intn(Order))
+		if got, want := Mul(a, b), mulSlow(a, b); got != want {
+			t.Fatalf("Mul(%#x,%#x) = %#x, want %#x", a, b, got, want)
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20000}
+	if err := quick.Check(func(a, b uint16) bool { return Mul(a, b) == Mul(b, a) }, cfg); err != nil {
+		t.Error("commutativity:", err)
+	}
+	if err := quick.Check(func(a, b, c uint16) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}, cfg); err != nil {
+		t.Error("associativity:", err)
+	}
+	if err := quick.Check(func(a, b, c uint16) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, cfg); err != nil {
+		t.Error("distributivity:", err)
+	}
+	if err := quick.Check(func(a uint16) bool {
+		if a == 0 {
+			return true
+		}
+		return Mul(a, Inv(a)) == 1 && Div(1, a) == Inv(a)
+	}, cfg); err != nil {
+		t.Error("inverses:", err)
+	}
+}
+
+func TestZeroHandling(t *testing.T) {
+	if Mul(0, 7) != 0 || Mul(7, 0) != 0 || Div(0, 7) != 0 {
+		t.Fatal("zero arithmetic wrong")
+	}
+	for name, fn := range map[string]func(){
+		"Inv(0)":   func() { Inv(0) },
+		"Div(x,0)": func() { Div(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExp(t *testing.T) {
+	if Exp(0, 0) != 1 || Exp(0, 5) != 0 {
+		t.Fatal("zero-base conventions wrong")
+	}
+	for _, base := range []uint16{2, 3, 0x1234} {
+		acc := uint16(1)
+		for e := 0; e < 100; e++ {
+			if Exp(base, e) != acc {
+				t.Fatalf("Exp(%#x,%d) wrong", base, e)
+			}
+			acc = Mul(acc, base)
+		}
+		if Mul(Exp(base, -7), Exp(base, 7)) != 1 {
+			t.Fatal("negative exponent not inverse")
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]uint16, 300)
+	dst := make([]uint16, 300)
+	orig := make([]uint16, 300)
+	for trial := 0; trial < 50; trial++ {
+		c := uint16(rng.Intn(Order))
+		for i := range src {
+			src[i] = uint16(rng.Intn(Order))
+			dst[i] = uint16(rng.Intn(Order))
+		}
+		copy(orig, dst)
+		MulAddSlice(c, dst, src)
+		for i := range dst {
+			if dst[i] != orig[i]^Mul(c, src[i]) {
+				t.Fatalf("trial %d index %d wrong", trial, i)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MulAddSlice(1, make([]uint16, 2), make([]uint16, 3))
+}
+
+func TestRSValidation(t *testing.T) {
+	for _, p := range [][2]int{{0, 1}, {1, 0}, {65000, 2000}} {
+		if _, err := NewRS(p[0], p[1]); err == nil {
+			t.Errorf("NewRS(%v) succeeded", p)
+		}
+	}
+}
+
+func TestWideRSRoundTrip(t *testing.T) {
+	// A stripe wider than GF(2^8) allows: 300 data + 20 parity shards.
+	c, err := NewRS(300, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]uint16, 300)
+	for i := range data {
+		data[i] = make([]uint16, 16)
+		for j := range data[i] {
+			data[i][j] = uint16(rng.Intn(Order))
+		}
+	}
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]uint16{}, data...), parity...)
+	// Erase 20 random shards (the maximum).
+	shards := make([][]uint16, len(full))
+	for i, s := range full {
+		shards[i] = append([]uint16(nil), s...)
+	}
+	for _, e := range rng.Perm(320)[:20] {
+		shards[e] = nil
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		for j := range shards[i] {
+			if shards[i][j] != full[i][j] {
+				t.Fatalf("shard %d symbol %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRSSmallAllPatterns(t *testing.T) {
+	c, _ := NewRS(3, 2)
+	rng := rand.New(rand.NewSource(4))
+	data := make([][]uint16, 3)
+	for i := range data {
+		data[i] = []uint16{uint16(rng.Intn(Order)), uint16(rng.Intn(Order))}
+	}
+	parity, _ := c.Encode(data)
+	full := append(append([][]uint16{}, data...), parity...)
+	for mask := 1; mask < 32; mask++ {
+		cnt := 0
+		for i := 0; i < 5; i++ {
+			if mask>>i&1 == 1 {
+				cnt++
+			}
+		}
+		if cnt > 2 {
+			continue
+		}
+		shards := make([][]uint16, 5)
+		for i := range shards {
+			if mask>>i&1 == 0 {
+				shards[i] = append([]uint16(nil), full[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := range shards {
+			for j := range shards[i] {
+				if shards[i][j] != full[i][j] {
+					t.Fatalf("mask %b shard %d mismatch", mask, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRSTooManyErasures(t *testing.T) {
+	c, _ := NewRS(3, 2)
+	shards := make([][]uint16, 5)
+	shards[3] = []uint16{1}
+	shards[4] = []uint16{2}
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("3 erasures of (3,2) must fail")
+	}
+}
+
+func TestRSEncodeErrors(t *testing.T) {
+	c, _ := NewRS(2, 1)
+	if _, err := c.Encode([][]uint16{{1}}); err == nil {
+		t.Fatal("wrong shard count")
+	}
+	if _, err := c.Encode([][]uint16{{1}, nil}); err == nil {
+		t.Fatal("nil shard")
+	}
+	if _, err := c.Encode([][]uint16{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged shards")
+	}
+}
+
+func BenchmarkMulAddSlice16(b *testing.B) {
+	src := make([]uint16, 1<<19)
+	dst := make([]uint16, 1<<19)
+	rng := rand.New(rand.NewSource(5))
+	for i := range src {
+		src[i] = uint16(rng.Intn(Order))
+	}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x1234, dst, src)
+	}
+}

@@ -1,0 +1,286 @@
+// Package httpd exposes the erasure-coded blob store as an HTTP object
+// service — the "cloud storage system" face of the reproduction. Objects are
+// PUT once (append-only, matching the paper's write model) and GET any
+// number of times; reads degrade transparently under injected disk failures,
+// and an admin surface drives failure injection, recovery, scrubbing, and
+// I/O statistics.
+//
+//	PUT  /objects/{name}         store the request body as an object
+//	GET  /objects/{name}         read it back (degraded reads transparent)
+//	GET  /admin/status           scheme, stripes, failures, device counters
+//	POST /admin/fail?disk=D      mark device D failed
+//	POST /admin/recover?disk=D   rebuild device D from survivors
+//	POST /admin/scrub            verify parity of every stripe
+//	GET  /admin/checksums        re-check every cell's CRC32C
+//	POST /admin/corrupt?...      inject silent bit rot into one cell
+//
+// All handlers are safe for concurrent use; the store is guarded by one
+// RWMutex (reads share, writes and admin actions exclude).
+package httpd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/store"
+)
+
+// objectMeta locates one object inside the append-only store.
+type objectMeta struct {
+	Off  int64 `json:"off"`
+	Size int   `json:"size"`
+}
+
+// Server is the HTTP object service.
+type Server struct {
+	mu      sync.RWMutex
+	store   *store.Store
+	objects map[string]objectMeta
+	mux     *http.ServeMux
+}
+
+// NewServer wraps a store (callers construct it with the scheme and element
+// size they want).
+func NewServer(st *store.Store) *Server {
+	s := &Server{store: st, objects: make(map[string]objectMeta)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/objects/", s.handleObject)
+	mux.HandleFunc("/admin/status", s.handleStatus)
+	mux.HandleFunc("/admin/fail", s.handleFail)
+	mux.HandleFunc("/admin/recover", s.handleRecover)
+	mux.HandleFunc("/admin/scrub", s.handleScrub)
+	mux.HandleFunc("/admin/checksums", s.handleChecksums)
+	mux.HandleFunc("/admin/corrupt", s.handleCorrupt)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/objects/")
+	if name == "" || strings.Contains(name, "/") {
+		http.Error(w, "bad object name", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		s.putObject(w, r, name)
+	case http.MethodGet:
+		s.getObject(w, r, name)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) putObject(w http.ResponseWriter, r *http.Request, name string) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty object", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.objects[name]; exists {
+		// Append-only store: objects are immutable once written.
+		http.Error(w, "object exists (store is append-only)", http.StatusConflict)
+		return
+	}
+	off := s.store.Len()
+	if err := s.store.Append(body); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Seal so the object is immediately readable; padding is internal.
+	if err := s.store.Flush(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.objects[name] = objectMeta{Off: off, Size: len(body)}
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, "stored %d bytes at offset %d\n", len(body), off)
+}
+
+func (s *Server) getObject(w http.ResponseWriter, _ *http.Request, name string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	meta, ok := s.objects[name]
+	if !ok {
+		http.Error(w, "no such object", http.StatusNotFound)
+		return
+	}
+	res, err := s.store.ReadAt(meta.Off, meta.Size)
+	if err != nil {
+		// Unrecoverable degradation is a server-side availability failure.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Read-Cost", fmt.Sprintf("%.3f", res.Plan.Cost()))
+	w.Header().Set("X-Max-Disk-Load", strconv.Itoa(res.Plan.MaxLoad()))
+	w.Write(res.Data)
+}
+
+// Status is the admin status document.
+type Status struct {
+	Scheme         string  `json:"scheme"`
+	Disks          int     `json:"disks"`
+	FaultTolerance int     `json:"fault_tolerance"`
+	Overhead       float64 `json:"storage_overhead"`
+	Stripes        int     `json:"stripes"`
+	Bytes          int64   `json:"bytes"`
+	Objects        int     `json:"objects"`
+	FailedDisks    []int   `json:"failed_disks"`
+	DeviceReads    []int   `json:"device_reads"`
+	DeviceWrites   []int   `json:"device_writes"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sch := s.store.Scheme()
+	st := Status{
+		Scheme:         sch.Name(),
+		Disks:          sch.N(),
+		FaultTolerance: sch.FaultTolerance(),
+		Overhead:       sch.StorageOverhead(),
+		Stripes:        s.store.Stripes(),
+		Bytes:          s.store.Len(),
+		Objects:        len(s.objects),
+		FailedDisks:    s.store.FailedDisks(),
+	}
+	for d := 0; d < sch.N(); d++ {
+		st.DeviceReads = append(st.DeviceReads, s.store.Device(d).Reads)
+		st.DeviceWrites = append(st.DeviceWrites, s.store.Device(d).Writes)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) diskParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	d, err := strconv.Atoi(r.URL.Query().Get("disk"))
+	if err != nil || d < 0 || d >= s.store.Scheme().N() {
+		http.Error(w, "bad or missing disk parameter", http.StatusBadRequest)
+		return 0, false
+	}
+	return d, true
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.diskParam(w, r)
+	if !ok {
+		return
+	}
+	if len(s.store.FailedDisks()) >= s.store.Scheme().FaultTolerance() {
+		http.Error(w, fmt.Sprintf("refusing: %d failures already at tolerance", len(s.store.FailedDisks())),
+			http.StatusConflict)
+		return
+	}
+	s.store.FailDisk(d)
+	fmt.Fprintf(w, "disk %d failed\n", d)
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.diskParam(w, r)
+	if !ok {
+		return
+	}
+	cost, err := s.store.RecoverDisk(d)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrUnrecoverable) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	fmt.Fprintf(w, "disk %d recovered, %d elements read\n", d, cost)
+}
+
+// handleChecksums re-verifies every stored cell's CRC and reports failures.
+func (s *Server) handleChecksums(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bad := s.store.VerifyChecksums()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"corrupt_cells": bad, "count": len(bad)})
+}
+
+// handleCorrupt injects silent bit rot into one stored cell — a failure-
+// injection hook for demos and tests (the read path will heal it).
+func (s *Server) handleCorrupt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := r.URL.Query()
+	stripe, err1 := strconv.Atoi(q.Get("stripe"))
+	row, err2 := strconv.Atoi(q.Get("row"))
+	col, err3 := strconv.Atoi(q.Get("col"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		http.Error(w, "corrupt requires stripe, row, col", http.StatusBadRequest)
+		return
+	}
+	lay := s.store.Scheme().Layout()
+	if stripe < 0 || stripe >= s.store.Stripes() ||
+		row < 0 || row >= lay.Rows() || col < 0 || col >= lay.N() {
+		http.Error(w, "cell out of range", http.StatusBadRequest)
+		return
+	}
+	if err := s.store.CorruptCell(stripe, layout.Pos{Row: row, Col: col}); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "corrupted stripe %d cell (%d,%d)\n", stripe, row, col)
+}
+
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bad, err := s.store.Scrub()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"corrupt_stripes": bad})
+}

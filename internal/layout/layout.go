@@ -1,0 +1,332 @@
+// Package layout implements the stripe layouts the EC-FRM paper compares:
+//
+//   - Standard: the candidate code's native one-row layout — data on disks
+//     0..k-1, parity on disks k..n-1, identical in every stripe (Figures 1-2).
+//   - Rotated: the standard layout with the logical→physical disk mapping
+//     rotated by one position per stripe (the "rotated stripes" baseline,
+//     Figure 3b).
+//   - ECFRM: the paper's framework layout (§IV-B, Equations 1-4): a stripe of
+//     n/r rows × n columns with r = gcd(n,k), data elements deployed
+//     sequentially across ALL disks and parities arranged so that every code
+//     group spans all n disks exactly once.
+//
+// A layout is pure geometry: it knows where cells live and which code group
+// each cell belongs to, but nothing about field arithmetic. The core package
+// combines a layout with a candidate code into an operational scheme.
+package layout
+
+import "fmt"
+
+// Pos identifies a cell within one stripe: a row and a column. Columns are
+// logical disk positions before any per-stripe rotation.
+type Pos struct {
+	Row int
+	Col int
+}
+
+// Cell describes a stripe cell: its position, the code group it belongs to,
+// its element index within that group's candidate-code row (0..n-1, data for
+// element < k), and whether it is a data cell.
+type Cell struct {
+	Pos
+	Group   int
+	Element int
+	IsData  bool
+}
+
+// Layout maps a candidate code with n elements (k data) per row onto a
+// stripe geometry.
+type Layout interface {
+	// Name identifies the layout form: "standard", "rotated", or "ecfrm".
+	Name() string
+	// N is the number of columns (disks) in a stripe.
+	N() int
+	// K is the number of data elements per candidate-code row.
+	K() int
+	// Rows is the number of rows per stripe.
+	Rows() int
+	// Groups is the number of independent code groups per stripe.
+	Groups() int
+	// DataPerStripe is the number of data elements in one stripe
+	// (Groups() × K()).
+	DataPerStripe() int
+	// DataPos returns the cell position of in-stripe sequential data
+	// element e, 0 ≤ e < DataPerStripe(). Sequential data elements are the
+	// order user bytes are laid down in.
+	DataPos(e int) Pos
+	// CellAt describes the cell at position p.
+	CellAt(p Pos) Cell
+	// GroupCell returns the position of element t (0..n-1) of group g.
+	GroupCell(g, t int) Pos
+	// Disk maps a stripe-local column to a physical disk for the given
+	// stripe index (identity except for rotated layouts).
+	Disk(stripe, col int) int
+	// Col inverts Disk for the given stripe.
+	Col(stripe, disk int) int
+}
+
+// gcd returns the greatest common divisor of a and b.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func validate(n, k int) {
+	if k < 1 || n <= k {
+		panic(fmt.Sprintf("layout: invalid candidate shape n=%d k=%d", n, k))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Standard layout
+// ---------------------------------------------------------------------------
+
+// Standard is the candidate code's native one-row layout.
+type Standard struct{ n, k int }
+
+// NewStandard returns the standard layout for an (n,k) candidate code.
+func NewStandard(n, k int) *Standard {
+	validate(n, k)
+	return &Standard{n: n, k: k}
+}
+
+// Name implements Layout.
+func (s *Standard) Name() string { return "standard" }
+
+// N implements Layout.
+func (s *Standard) N() int { return s.n }
+
+// K implements Layout.
+func (s *Standard) K() int { return s.k }
+
+// Rows implements Layout.
+func (s *Standard) Rows() int { return 1 }
+
+// Groups implements Layout.
+func (s *Standard) Groups() int { return 1 }
+
+// DataPerStripe implements Layout.
+func (s *Standard) DataPerStripe() int { return s.k }
+
+// DataPos implements Layout.
+func (s *Standard) DataPos(e int) Pos {
+	if e < 0 || e >= s.k {
+		panic(fmt.Sprintf("layout: data element %d out of [0,%d)", e, s.k))
+	}
+	return Pos{Row: 0, Col: e}
+}
+
+// CellAt implements Layout.
+func (s *Standard) CellAt(p Pos) Cell {
+	if p.Row != 0 || p.Col < 0 || p.Col >= s.n {
+		panic(fmt.Sprintf("layout: cell %+v out of 1×%d", p, s.n))
+	}
+	return Cell{Pos: p, Group: 0, Element: p.Col, IsData: p.Col < s.k}
+}
+
+// GroupCell implements Layout.
+func (s *Standard) GroupCell(g, t int) Pos {
+	if g != 0 || t < 0 || t >= s.n {
+		panic(fmt.Sprintf("layout: group cell (%d,%d) invalid", g, t))
+	}
+	return Pos{Row: 0, Col: t}
+}
+
+// Disk implements Layout: identity mapping.
+func (s *Standard) Disk(_, col int) int { return col }
+
+// Col implements Layout: identity mapping.
+func (s *Standard) Col(_, disk int) int { return disk }
+
+// ---------------------------------------------------------------------------
+// Rotated layout
+// ---------------------------------------------------------------------------
+
+// Rotated is the standard layout with a per-stripe rotation of the
+// logical→physical disk mapping (the R-RS / R-LRC baseline).
+type Rotated struct {
+	Standard
+	stride int
+}
+
+// NewRotated returns the rotated layout for an (n,k) candidate code with
+// the conventional stride of one position per stripe.
+func NewRotated(n, k int) *Rotated {
+	return NewRotatedStride(n, k, 1)
+}
+
+// NewRotatedStride rotates by `stride` positions per stripe — an ablation
+// knob over the baseline. stride must be in [1, n); stride 1 is the RAID-5
+// left-symmetric convention the paper's R- forms use.
+func NewRotatedStride(n, k, stride int) *Rotated {
+	validate(n, k)
+	if stride < 1 || stride >= n {
+		panic(fmt.Sprintf("layout: rotation stride %d out of [1,%d)", stride, n))
+	}
+	return &Rotated{Standard: Standard{n: n, k: k}, stride: stride}
+}
+
+// Name implements Layout.
+func (r *Rotated) Name() string { return "rotated" }
+
+// Stride returns the per-stripe rotation amount.
+func (r *Rotated) Stride() int { return r.stride }
+
+// Disk implements Layout: column c of stripe s lives on disk
+// (c - s·stride) mod n, i.e. the stripe's window of data disks slides down
+// per stripe (the RAID-5 left-symmetric convention at stride 1). Sliding
+// opposite to the read direction lets a boundary-crossing sequential read
+// start the next stripe on a disk the previous stripe's tail did not touch.
+func (r *Rotated) Disk(stripe, col int) int {
+	return ((col-stripe*r.stride)%r.n + r.n) % r.n
+}
+
+// Col implements Layout.
+func (r *Rotated) Col(stripe, disk int) int {
+	return ((disk+stripe*r.stride)%r.n + r.n) % r.n
+}
+
+// ---------------------------------------------------------------------------
+// EC-FRM layout
+// ---------------------------------------------------------------------------
+
+// ECFRM is the paper's layout (§IV-B): r = gcd(n,k); a stripe has n/r rows
+// and n columns; the first k/r rows hold data laid out sequentially across
+// all columns; group i consists of the n consecutive (mod n) column slots
+// starting at column i·k, with its n-k parities continuing right after its
+// k data elements.
+type ECFRM struct {
+	n, k, r  int
+	rows     int
+	dataRows int
+	groups   int
+	// kInv is the inverse of k/r modulo n/r, used to invert the
+	// column→group mapping for parity cells.
+	kInv int
+}
+
+// NewECFRM returns the EC-FRM layout for an (n,k) candidate code.
+func NewECFRM(n, k int) *ECFRM {
+	validate(n, k)
+	r := gcd(n, k)
+	e := &ECFRM{
+		n: n, k: k, r: r,
+		rows:     n / r,
+		dataRows: k / r,
+		groups:   n / r,
+	}
+	// Find (k/r)^{-1} mod n/r; exists because gcd(k/r, n/r) = 1.
+	kr, nr := k/r, n/r
+	for i := 0; i < nr; i++ {
+		if (kr*i)%nr == 1%nr {
+			e.kInv = i
+			break
+		}
+	}
+	return e
+}
+
+// Name implements Layout.
+func (e *ECFRM) Name() string { return "ecfrm" }
+
+// N implements Layout.
+func (e *ECFRM) N() int { return e.n }
+
+// K implements Layout.
+func (e *ECFRM) K() int { return e.k }
+
+// R returns gcd(n,k), the paper's parameter r.
+func (e *ECFRM) R() int { return e.r }
+
+// Rows implements Layout.
+func (e *ECFRM) Rows() int { return e.rows }
+
+// DataRows returns the number of leading rows that hold data (k/r).
+func (e *ECFRM) DataRows() int { return e.dataRows }
+
+// Groups implements Layout.
+func (e *ECFRM) Groups() int { return e.groups }
+
+// DataPerStripe implements Layout.
+func (e *ECFRM) DataPerStripe() int { return e.groups * e.k }
+
+// DataPos implements Layout. Equation (1): sequential data element
+// x = i·k + t lands at row ⌊x/n⌋, column x mod n.
+func (e *ECFRM) DataPos(x int) Pos {
+	if x < 0 || x >= e.DataPerStripe() {
+		panic(fmt.Sprintf("layout: data element %d out of [0,%d)", x, e.DataPerStripe()))
+	}
+	return Pos{Row: x / e.n, Col: x % e.n}
+}
+
+// GroupCell implements Layout. Element t of group g lives in column
+// ⟨g·k + t⟩ mod n; data elements (t < k) in row ⌊(g·k+t)/n⌋ and parity
+// elements (t ≥ k) in row k/r + ⌊(t-k)/r⌋ (Equation 2 / Step-1 procedure).
+func (e *ECFRM) GroupCell(g, t int) Pos {
+	if g < 0 || g >= e.groups || t < 0 || t >= e.n {
+		panic(fmt.Sprintf("layout: group cell (%d,%d) invalid", g, t))
+	}
+	col := (g*e.k + t) % e.n
+	if t < e.k {
+		return Pos{Row: (g*e.k + t) / e.n, Col: col}
+	}
+	return Pos{Row: e.dataRows + (t-e.k)/e.r, Col: col}
+}
+
+// CellAt implements Layout, inverting GroupCell.
+func (e *ECFRM) CellAt(p Pos) Cell {
+	if p.Row < 0 || p.Row >= e.rows || p.Col < 0 || p.Col >= e.n {
+		panic(fmt.Sprintf("layout: cell %+v out of %d×%d", p, e.rows, e.n))
+	}
+	if p.Row < e.dataRows {
+		x := p.Row*e.n + p.Col
+		return Cell{Pos: p, Group: x / e.k, Element: x % e.k, IsData: true}
+	}
+	// Parity cell. Row gives j; the column determines the group: the cell
+	// belongs to group g with col ≡ g·k + k + j·r + s (mod n), 0 ≤ s < r.
+	j := p.Row - e.dataRows
+	cp := ((p.Col-e.k-j*e.r)%e.n + e.n) % e.n
+	s := cp % e.r
+	b := cp - s // g·k ≡ b (mod n), b a multiple of r
+	g := (b / e.r * e.kInv) % (e.n / e.r)
+	return Cell{Pos: p, Group: g, Element: e.k + j*e.r + s, IsData: false}
+}
+
+// Disk implements Layout: identity — EC-FRM needs no per-stripe rotation
+// because data already spreads across all disks.
+func (e *ECFRM) Disk(_, col int) int { return col }
+
+// Col implements Layout.
+func (e *ECFRM) Col(_, disk int) int { return disk }
+
+var (
+	_ Layout = (*Standard)(nil)
+	_ Layout = (*Rotated)(nil)
+	_ Layout = (*ECFRM)(nil)
+)
+
+// Form names a layout family; used to construct layouts generically.
+type Form string
+
+// The three layout forms the paper evaluates.
+const (
+	FormStandard Form = "standard"
+	FormRotated  Form = "rotated"
+	FormECFRM    Form = "ecfrm"
+)
+
+// New constructs the layout of the given form for an (n,k) candidate shape.
+func New(form Form, n, k int) (Layout, error) {
+	switch form {
+	case FormStandard:
+		return NewStandard(n, k), nil
+	case FormRotated:
+		return NewRotated(n, k), nil
+	case FormECFRM:
+		return NewECFRM(n, k), nil
+	default:
+		return nil, fmt.Errorf("layout: unknown form %q", form)
+	}
+}

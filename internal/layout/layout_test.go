@@ -1,0 +1,364 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperShapes are the (n,k) candidate shapes from Table I:
+// RS (6,3)→(9,6), (8,4)→(12,8), (10,5)→(15,10);
+// LRC (6,2,2)→(10,6), (8,2,3)→(13,8), (10,2,4)→(16,10).
+var paperShapes = [][2]int{{9, 6}, {12, 8}, {15, 10}, {10, 6}, {13, 8}, {16, 10}}
+
+func allShapes() [][2]int {
+	shapes := append([][2]int{}, paperShapes...)
+	// Plus awkward shapes: coprime, k|n, large r.
+	shapes = append(shapes, [2]int{7, 3}, [2]int{10, 5}, [2]int{12, 9}, [2]int{5, 4}, [2]int{16, 4})
+	return shapes
+}
+
+func TestGCD(t *testing.T) {
+	cases := [][3]int{{9, 6, 3}, {10, 6, 2}, {7, 3, 1}, {10, 5, 5}, {12, 8, 4}}
+	for _, c := range cases {
+		if got := gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewStandard(3, 3) },
+		func() { NewRotated(2, 0) },
+		func() { NewECFRM(5, 6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid shape did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStandardGeometry(t *testing.T) {
+	s := NewStandard(10, 6)
+	if s.Rows() != 1 || s.Groups() != 1 || s.DataPerStripe() != 6 || s.N() != 10 || s.K() != 6 {
+		t.Fatal("standard geometry wrong")
+	}
+	for e := 0; e < 6; e++ {
+		if p := s.DataPos(e); p.Row != 0 || p.Col != e {
+			t.Fatalf("DataPos(%d) = %+v", e, p)
+		}
+	}
+	c := s.CellAt(Pos{0, 7})
+	if c.IsData || c.Element != 7 || c.Group != 0 {
+		t.Fatalf("CellAt parity wrong: %+v", c)
+	}
+	if s.Disk(42, 3) != 3 || s.Col(42, 3) != 3 {
+		t.Fatal("standard must not rotate")
+	}
+}
+
+func TestRotatedMapping(t *testing.T) {
+	r := NewRotated(10, 6)
+	if r.Name() != "rotated" {
+		t.Fatal("name")
+	}
+	// Stripe 0: identity. Stripe 1: window slides down by one
+	// (left-symmetric convention).
+	if r.Disk(0, 3) != 3 || r.Disk(1, 3) != 2 || r.Disk(1, 0) != 9 {
+		t.Fatal("rotation wrong")
+	}
+	// Disk and Col must be inverses for many stripes.
+	for stripe := 0; stripe < 25; stripe++ {
+		for col := 0; col < 10; col++ {
+			if r.Col(stripe, r.Disk(stripe, col)) != col {
+				t.Fatalf("Col∘Disk != id at stripe %d col %d", stripe, col)
+			}
+		}
+	}
+}
+
+func TestECFRMGeometryPaperExample(t *testing.T) {
+	// The paper's Figure 4 example: (10,6) candidate → r=2, 5 rows,
+	// 3 data rows, 5 groups.
+	e := NewECFRM(10, 6)
+	if e.R() != 2 || e.Rows() != 5 || e.DataRows() != 3 || e.Groups() != 5 {
+		t.Fatalf("geometry: r=%d rows=%d dataRows=%d groups=%d",
+			e.R(), e.Rows(), e.DataRows(), e.Groups())
+	}
+	if e.DataPerStripe() != 30 {
+		t.Fatalf("DataPerStripe = %d, want 30", e.DataPerStripe())
+	}
+}
+
+func TestECFRMFigure4Cells(t *testing.T) {
+	// Worked cells from the paper's §IV-B discussion of Figure 4
+	// ((10,6) candidate, r=2, k/r=3):
+	//   D0 = {d0,0 .. d0,5}; P0,0 = {p3,6, p3,7}; P0,1 = {p4,8, p4,9}
+	//   D1 starts at d0,6 and wraps to d1,1 (green group in Fig. 5)
+	//   D3's last data element is d2,3; P3,0 = {p3,4, p3,5}; P3,1 = {p4,6, p4,7}
+	e := NewECFRM(10, 6)
+
+	// Group 0 data at row 0, cols 0..5.
+	for t2 := 0; t2 < 6; t2++ {
+		if p := e.GroupCell(0, t2); p != (Pos{0, t2}) {
+			t.Fatalf("G0 d%d at %+v", t2, p)
+		}
+	}
+	// Group 0 parities.
+	wantP0 := []Pos{{3, 6}, {3, 7}, {4, 8}, {4, 9}}
+	for i, want := range wantP0 {
+		if p := e.GroupCell(0, 6+i); p != want {
+			t.Fatalf("G0 p%d at %+v, want %+v", i, p, want)
+		}
+	}
+	// Group 1 data: d0,6..d0,9 then d1,0, d1,1.
+	wantD1 := []Pos{{0, 6}, {0, 7}, {0, 8}, {0, 9}, {1, 0}, {1, 1}}
+	for t2, want := range wantD1 {
+		if p := e.GroupCell(1, t2); p != want {
+			t.Fatalf("G1 d%d at %+v, want %+v", t2, p, want)
+		}
+	}
+	// Group 1 parities (paper Fig. 5: {p3,2, p3,3} and {p4,4, p4,5}).
+	wantP1 := []Pos{{3, 2}, {3, 3}, {4, 4}, {4, 5}}
+	for i, want := range wantP1 {
+		if p := e.GroupCell(1, 6+i); p != want {
+			t.Fatalf("G1 p%d at %+v, want %+v", i, p, want)
+		}
+	}
+	// Group 3: P3,0 = {p3,4, p3,5}, P3,1 = {p4,6, p4,7}.
+	wantP3 := []Pos{{3, 4}, {3, 5}, {4, 6}, {4, 7}}
+	for i, want := range wantP3 {
+		if p := e.GroupCell(3, 6+i); p != want {
+			t.Fatalf("G3 p%d at %+v, want %+v", i, p, want)
+		}
+	}
+	// And G3's last data element must be d2,3.
+	if p := e.GroupCell(3, 5); p != (Pos{2, 3}) {
+		t.Fatalf("G3 last data at %+v, want {2 3}", p)
+	}
+}
+
+func TestECFRMDataSequential(t *testing.T) {
+	// Equation (1): data element x at row x/n, col x%n — perfectly
+	// sequential striping over all disks.
+	for _, sh := range allShapes() {
+		e := NewECFRM(sh[0], sh[1])
+		for x := 0; x < e.DataPerStripe(); x++ {
+			p := e.DataPos(x)
+			if p.Row != x/sh[0] || p.Col != x%sh[0] {
+				t.Fatalf("(%d,%d): DataPos(%d) = %+v", sh[0], sh[1], x, p)
+			}
+		}
+	}
+}
+
+func TestECFRMCellInversionExhaustive(t *testing.T) {
+	// CellAt must invert GroupCell for every cell of every shape.
+	for _, sh := range allShapes() {
+		e := NewECFRM(sh[0], sh[1])
+		for g := 0; g < e.Groups(); g++ {
+			for t2 := 0; t2 < e.N(); t2++ {
+				p := e.GroupCell(g, t2)
+				c := e.CellAt(p)
+				if c.Group != g || c.Element != t2 {
+					t.Fatalf("(%d,%d): cell %+v maps to (g=%d,t=%d), want (%d,%d)",
+						sh[0], sh[1], p, c.Group, c.Element, g, t2)
+				}
+				if c.IsData != (t2 < e.K()) {
+					t.Fatalf("(%d,%d): cell %+v IsData wrong", sh[0], sh[1], p)
+				}
+			}
+		}
+	}
+}
+
+func TestECFRMLemma1Invariant(t *testing.T) {
+	// Lemma 1's precondition: every group spans all n columns exactly once,
+	// i.e. each disk holds exactly one element of every group. Also the
+	// perfect-tiling invariant: every cell belongs to exactly one group.
+	for _, sh := range allShapes() {
+		n, k := sh[0], sh[1]
+		e := NewECFRM(n, k)
+		// Group → columns covered.
+		for g := 0; g < e.Groups(); g++ {
+			cols := make(map[int]bool, n)
+			for t2 := 0; t2 < n; t2++ {
+				cols[e.GroupCell(g, t2).Col] = true
+			}
+			if len(cols) != n {
+				t.Fatalf("(%d,%d): group %d covers %d distinct columns, want %d",
+					n, k, g, len(cols), n)
+			}
+		}
+		// Cell → unique (group, element) covering every slot exactly once.
+		seen := make(map[Pos]bool)
+		elems := make(map[[2]int]bool)
+		for g := 0; g < e.Groups(); g++ {
+			for t2 := 0; t2 < n; t2++ {
+				p := e.GroupCell(g, t2)
+				if seen[p] {
+					t.Fatalf("(%d,%d): cell %+v assigned twice", n, k, p)
+				}
+				seen[p] = true
+				elems[[2]int{g, t2}] = true
+			}
+		}
+		if len(seen) != e.Rows()*n {
+			t.Fatalf("(%d,%d): %d cells assigned, want %d", n, k, len(seen), e.Rows()*n)
+		}
+	}
+}
+
+func TestECFRMParityRowsTile(t *testing.T) {
+	// Parity rows contain only parity cells; data rows only data cells.
+	for _, sh := range allShapes() {
+		e := NewECFRM(sh[0], sh[1])
+		for row := 0; row < e.Rows(); row++ {
+			for col := 0; col < e.N(); col++ {
+				c := e.CellAt(Pos{row, col})
+				if got, want := c.IsData, row < e.DataRows(); got != want {
+					t.Fatalf("(%d,%d): cell (%d,%d) IsData=%v, want %v",
+						sh[0], sh[1], row, col, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestECFRMPanics(t *testing.T) {
+	e := NewECFRM(10, 6)
+	for name, fn := range map[string]func(){
+		"DataPosNeg":    func() { e.DataPos(-1) },
+		"DataPosBig":    func() { e.DataPos(30) },
+		"CellAtBig":     func() { e.CellAt(Pos{5, 0}) },
+		"CellAtNegCol":  func() { e.CellAt(Pos{0, -1}) },
+		"GroupCellBig":  func() { e.GroupCell(5, 0) },
+		"GroupCellElem": func() { e.GroupCell(0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	s := NewStandard(10, 6)
+	for name, fn := range map[string]func(){
+		"StdDataPos":   func() { s.DataPos(6) },
+		"StdCellAt":    func() { s.CellAt(Pos{1, 0}) },
+		"StdGroupCell": func() { s.GroupCell(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	for _, form := range []Form{FormStandard, FormRotated, FormECFRM} {
+		l, err := New(form, 10, 6)
+		if err != nil {
+			t.Fatalf("New(%s): %v", form, err)
+		}
+		if l.Name() != string(form) {
+			t.Fatalf("Name = %q, want %q", l.Name(), form)
+		}
+	}
+	if _, err := New("bogus", 10, 6); err == nil {
+		t.Fatal("unknown form must error")
+	}
+}
+
+func TestPropertyDataPosBijective(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := int(rawN%14) + 4
+		k := int(rawK)%(n-1) + 1
+		e := NewECFRM(n, k)
+		seen := make(map[Pos]bool)
+		for x := 0; x < e.DataPerStripe(); x++ {
+			p := e.DataPos(x)
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+			if c := e.CellAt(p); !c.IsData {
+				return false
+			}
+		}
+		return len(seen) == e.DataPerStripe()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECFRMNormalReadSpreadsBetterThanStandard(t *testing.T) {
+	// The paper's Figure 3/7(a) observation: an 8-element read on the
+	// (10,6) shape loads some disk twice under standard/rotated layouts
+	// but only once under EC-FRM.
+	n, k := 10, 6
+	maxLoad := func(l Layout, start, count int) int {
+		loads := make(map[int]int)
+		for i := 0; i < count; i++ {
+			x := start + i
+			stripe := x / l.DataPerStripe()
+			p := l.DataPos(x % l.DataPerStripe())
+			loads[l.Disk(stripe, p.Col)]++
+		}
+		max := 0
+		for _, v := range loads {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	if got := maxLoad(NewStandard(n, k), 0, 8); got != 2 {
+		t.Fatalf("standard 8-element read max load = %d, want 2", got)
+	}
+	if got := maxLoad(NewRotated(n, k), 0, 8); got != 2 {
+		t.Fatalf("rotated 8-element read max load = %d, want 2", got)
+	}
+	if got := maxLoad(NewECFRM(n, k), 0, 8); got != 1 {
+		t.Fatalf("ecfrm 8-element read max load = %d, want 1", got)
+	}
+}
+
+func TestRotatedStride(t *testing.T) {
+	r := NewRotatedStride(10, 6, 3)
+	if r.Stride() != 3 {
+		t.Fatalf("stride = %d", r.Stride())
+	}
+	if r.Disk(1, 5) != 2 || r.Disk(2, 0) != 4 {
+		t.Fatalf("stride-3 mapping wrong: %d %d", r.Disk(1, 5), r.Disk(2, 0))
+	}
+	for stripe := 0; stripe < 30; stripe++ {
+		for col := 0; col < 10; col++ {
+			if r.Col(stripe, r.Disk(stripe, col)) != col {
+				t.Fatal("Col∘Disk != id for stride 3")
+			}
+		}
+	}
+	for _, s := range []int{0, 10, -1} {
+		func(stride int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("stride %d did not panic", stride)
+				}
+			}()
+			NewRotatedStride(10, 6, stride)
+		}(s)
+	}
+}

@@ -1,0 +1,178 @@
+// Package raid6 implements the classic horizontal RAID-6 array codes the
+// EC-FRM paper surveys in §II-B: RDP (Corbett et al., FAST'04) and EVENODD
+// (Blaum et al.). Both protect against any two disk failures using pure XOR
+// arithmetic over a (p-1)-row array with p prime, and both are declared over
+// the internal/xorcode engine, which derives encoding, reconstruction, and
+// exact decodability analysis from the parity equations.
+//
+// They are horizontal (dedicated parity disks) but multi-row, so they are
+// not EC-FRM candidate codes; they serve as comparison baselines for the
+// §II-B taxonomy and as further exercise for the XOR engine.
+package raid6
+
+import (
+	"fmt"
+
+	"repro/internal/xorcode"
+)
+
+// Code is an XOR-linear array code (see internal/xorcode).
+type Code = xorcode.Code
+
+// CellRef addresses a cell in the (rows × disks) array.
+type CellRef = xorcode.CellRef
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for i := 2; i*i <= n; i++ {
+		if n%i == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewRDP constructs the Row-Diagonal Parity code for prime p ≥ 3: an array
+// of p-1 rows × p+1 disks. Disks 0..p-2 hold data, disk p-1 the row parity,
+// and disk p the diagonal parity. Diagonal k (k = 0..p-2) collects the
+// cells (i, j) with (i+j) mod p = k over the data AND row-parity columns;
+// diagonal p-1 is the "missing" diagonal and is never stored — the
+// construction that makes double-failure recovery a deterministic chain.
+func NewRDP(p int) (*Code, error) {
+	if p < 3 || !isPrime(p) {
+		return nil, fmt.Errorf("raid6: RDP needs a prime p ≥ 3, got %d", p)
+	}
+	rows, disks := p-1, p+1
+	var data []CellRef
+	for r := 0; r < rows; r++ {
+		for d := 0; d < p-1; d++ {
+			data = append(data, CellRef{Row: r, Disk: d})
+		}
+	}
+	var eqs []xorcode.Equation
+	// Row parity first: disk p-1.
+	for r := 0; r < rows; r++ {
+		var src []CellRef
+		for d := 0; d < p-1; d++ {
+			src = append(src, CellRef{Row: r, Disk: d})
+		}
+		eqs = append(eqs, xorcode.Equation{Target: CellRef{Row: r, Disk: p - 1}, Sources: src})
+	}
+	// Diagonal parity: disk p, diagonal k stored in row k. Sources span
+	// columns 0..p-1 (including the row-parity column) — legal because the
+	// row parities are defined by the earlier equations.
+	for k := 0; k < rows; k++ {
+		var src []CellRef
+		for i := 0; i < rows; i++ {
+			j := ((k-i)%p + p) % p
+			if j <= p-1 {
+				src = append(src, CellRef{Row: i, Disk: j})
+			}
+		}
+		eqs = append(eqs, xorcode.Equation{Target: CellRef{Row: k, Disk: p}, Sources: src})
+	}
+	return xorcode.New(fmt.Sprintf("RDP(%d)", p), rows, disks, data, eqs)
+}
+
+// NewSTAR constructs the STAR code (Huang & Xu, FAST'05) for prime p ≥ 3:
+// EVENODD extended with a third parity column of anti-diagonals, giving
+// p-1 rows × p+3 disks and tolerance for ANY three disk failures. Disk p
+// holds row parity, disk p+1 the slope-(+1) diagonal parity with its
+// missing-diagonal adjuster (exactly EVENODD's), and disk p+2 the
+// slope-(-1) anti-diagonal parity with the symmetric adjuster.
+func NewSTAR(p int) (*Code, error) {
+	if p < 3 || !isPrime(p) {
+		return nil, fmt.Errorf("raid6: STAR needs a prime p ≥ 3, got %d", p)
+	}
+	rows, disks := p-1, p+3
+	var data []CellRef
+	for r := 0; r < rows; r++ {
+		for d := 0; d < p; d++ {
+			data = append(data, CellRef{Row: r, Disk: d})
+		}
+	}
+	var eqs []xorcode.Equation
+	// Row parity.
+	for r := 0; r < rows; r++ {
+		var src []CellRef
+		for d := 0; d < p; d++ {
+			src = append(src, CellRef{Row: r, Disk: d})
+		}
+		eqs = append(eqs, xorcode.Equation{Target: CellRef{Row: r, Disk: p}, Sources: src})
+	}
+	// Diagonal parity (slope +1), EVENODD-style: diagonal k = {(i,j):
+	// (i+j) mod p = k}, adjuster = diagonal p-1.
+	for k := 0; k < rows; k++ {
+		var src []CellRef
+		for i := 0; i < rows; i++ {
+			src = append(src, CellRef{Row: i, Disk: ((k-i)%p + p) % p})
+		}
+		for i := 0; i < rows; i++ {
+			src = append(src, CellRef{Row: i, Disk: ((p - 1 - i) % p)})
+		}
+		eqs = append(eqs, xorcode.Equation{Target: CellRef{Row: k, Disk: p + 1}, Sources: src})
+	}
+	// Anti-diagonal parity (slope -1): anti-diagonal k = {(i,j):
+	// (j-i) mod p = k}, adjuster = anti-diagonal p-1... mirrored through
+	// j → (k+i) mod p.
+	for k := 0; k < rows; k++ {
+		var src []CellRef
+		for i := 0; i < rows; i++ {
+			src = append(src, CellRef{Row: i, Disk: (k + i) % p})
+		}
+		for i := 0; i < rows; i++ {
+			src = append(src, CellRef{Row: i, Disk: (p - 1 + i) % p})
+		}
+		eqs = append(eqs, xorcode.Equation{Target: CellRef{Row: k, Disk: p + 2}, Sources: src})
+	}
+	return xorcode.New(fmt.Sprintf("STAR(%d)", p), rows, disks, data, eqs)
+}
+
+// NewEVENODD constructs the EVENODD code for prime p ≥ 3: p-1 rows × p+2
+// disks. Disks 0..p-1 hold data, disk p the row parity, disk p+1 the
+// diagonal parity. The diagonal parity of diagonal k also folds in the
+// XOR of the missing diagonal p-1 (the "S" adjuster), which is what lets
+// EVENODD keep its parity columns independent of each other.
+func NewEVENODD(p int) (*Code, error) {
+	if p < 3 || !isPrime(p) {
+		return nil, fmt.Errorf("raid6: EVENODD needs a prime p ≥ 3, got %d", p)
+	}
+	rows, disks := p-1, p+2
+	var data []CellRef
+	for r := 0; r < rows; r++ {
+		for d := 0; d < p; d++ {
+			data = append(data, CellRef{Row: r, Disk: d})
+		}
+	}
+	// The S diagonal: cells (i, p-1-i) for i = 0..p-2.
+	sCells := make(map[CellRef]bool, rows)
+	for i := 0; i < rows; i++ {
+		sCells[CellRef{Row: i, Disk: p - 1 - i}] = true
+	}
+	var eqs []xorcode.Equation
+	for r := 0; r < rows; r++ {
+		var src []CellRef
+		for d := 0; d < p; d++ {
+			src = append(src, CellRef{Row: r, Disk: d})
+		}
+		eqs = append(eqs, xorcode.Equation{Target: CellRef{Row: r, Disk: p}, Sources: src})
+	}
+	for k := 0; k < rows; k++ {
+		var src []CellRef
+		for i := 0; i < rows; i++ {
+			j := ((k-i)%p + p) % p
+			if j <= p-1 {
+				src = append(src, CellRef{Row: i, Disk: j})
+			}
+		}
+		// Fold in S (diagonal p-1), skipping any accidental overlap —
+		// there is none, since diagonals are disjoint for distinct k.
+		for i := 0; i < rows; i++ {
+			src = append(src, CellRef{Row: i, Disk: p - 1 - i})
+		}
+		eqs = append(eqs, xorcode.Equation{Target: CellRef{Row: k, Disk: p + 1}, Sources: src})
+	}
+	return xorcode.New(fmt.Sprintf("EVENODD(%d)", p), rows, disks, data, eqs)
+}

@@ -1,0 +1,231 @@
+package raid6
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func encodeRandom(t testing.TB, c *Code, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([][]byte, c.Rows()*c.Disks())
+	for _, ref := range c.DataRefs() {
+		b := make([]byte, size)
+		rng.Read(b)
+		cells[c.Idx(ref)] = b
+	}
+	if err := c.Encode(cells); err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func eraseDisks(c *Code, cells [][]byte, disks []int) [][]byte {
+	failed := make(map[int]bool)
+	for _, d := range disks {
+		failed[d] = true
+	}
+	out := make([][]byte, len(cells))
+	for i, cell := range cells {
+		if !failed[i%c.Disks()] {
+			out[i] = cell
+		}
+	}
+	return out
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, p := range []int{0, 1, 4, 6, 8, 9} {
+		if _, err := NewRDP(p); err == nil {
+			t.Errorf("NewRDP(%d) succeeded", p)
+		}
+		if _, err := NewEVENODD(p); err == nil {
+			t.Errorf("NewEVENODD(%d) succeeded", p)
+		}
+	}
+}
+
+func TestRDPShape(t *testing.T) {
+	c, err := NewRDP(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "RDP(5)" || c.Rows() != 4 || c.Disks() != 6 {
+		t.Fatalf("shape: %s %d×%d", c.Name(), c.Rows(), c.Disks())
+	}
+	if c.DataCells() != 16 { // (p-1)·(p-1)
+		t.Fatalf("data cells = %d", c.DataCells())
+	}
+	// Overhead: 24 cells / 16 data = 1.5x (two parity disks of six).
+	if got := c.StorageOverhead(); got != 1.5 {
+		t.Fatalf("overhead = %v", got)
+	}
+}
+
+func TestEVENODDShape(t *testing.T) {
+	c, err := NewEVENODD(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 4 || c.Disks() != 7 || c.DataCells() != 20 {
+		t.Fatalf("shape: %d×%d data %d", c.Rows(), c.Disks(), c.DataCells())
+	}
+}
+
+func TestRDPRowParityDefinition(t *testing.T) {
+	c, _ := NewRDP(5)
+	cells := encodeRandom(t, c, 16, 1)
+	for r := 0; r < c.Rows(); r++ {
+		want := make([]byte, 16)
+		for d := 0; d < 4; d++ {
+			src := cells[c.Idx(CellRef{Row: r, Disk: d})]
+			for i := range want {
+				want[i] ^= src[i]
+			}
+		}
+		if !bytes.Equal(cells[c.Idx(CellRef{Row: r, Disk: 4})], want) {
+			t.Fatalf("row parity %d wrong", r)
+		}
+	}
+}
+
+func TestRDPDiagonalIncludesRowParity(t *testing.T) {
+	// RDP's signature property: diagonal parity is computed over data AND
+	// row-parity columns. Check diagonal 0 of RDP(5) explicitly:
+	// cells (i, (0-i) mod 5) for i=0..3 → (0,0),(1,4),(2,3),(3,2).
+	c, _ := NewRDP(5)
+	cells := encodeRandom(t, c, 8, 2)
+	want := make([]byte, 8)
+	for _, ref := range []CellRef{{Row: 0, Disk: 0}, {Row: 1, Disk: 4}, {Row: 2, Disk: 3}, {Row: 3, Disk: 2}} {
+		src := cells[c.Idx(ref)]
+		for i := range want {
+			want[i] ^= src[i]
+		}
+	}
+	if !bytes.Equal(cells[c.Idx(CellRef{Row: 0, Disk: 5})], want) {
+		t.Fatal("diagonal parity 0 wrong")
+	}
+}
+
+func TestAllDoubleDiskFailures(t *testing.T) {
+	build := []struct {
+		name string
+		mk   func(int) (*Code, error)
+		ps   []int
+	}{
+		{"RDP", NewRDP, []int{3, 5, 7, 11}},
+		{"EVENODD", NewEVENODD, []int{3, 5, 7}},
+	}
+	for _, b := range build {
+		for _, p := range b.ps {
+			c, err := b.mk(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells := encodeRandom(t, c, 16, int64(p))
+			n := c.Disks()
+			for a := 0; a < n; a++ {
+				for bb := a + 1; bb < n; bb++ {
+					broken := eraseDisks(c, cells, []int{a, bb})
+					if err := c.ReconstructDisks(broken, []int{a, bb}); err != nil {
+						t.Fatalf("%s(%d) disks {%d,%d}: %v", b.name, p, a, bb, err)
+					}
+					for i := range cells {
+						if !bytes.Equal(broken[i], cells[i]) {
+							t.Fatalf("%s(%d) disks {%d,%d}: cell %d mismatch", b.name, p, a, bb, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTripleFailureUnrecoverable(t *testing.T) {
+	for _, mk := range []func(int) (*Code, error){NewRDP, NewEVENODD} {
+		c, _ := mk(5)
+		if c.CanRecover([]int{0, 1, 2}) {
+			t.Fatalf("%s must not recover 3 disks", c.Name())
+		}
+	}
+}
+
+func TestSingleFailureEveryDisk(t *testing.T) {
+	c, _ := NewEVENODD(7)
+	cells := encodeRandom(t, c, 8, 3)
+	for d := 0; d < c.Disks(); d++ {
+		broken := eraseDisks(c, cells, []int{d})
+		if err := c.ReconstructDisks(broken, []int{d}); err != nil {
+			t.Fatalf("disk %d: %v", d, err)
+		}
+		for i := range cells {
+			if !bytes.Equal(broken[i], cells[i]) {
+				t.Fatalf("disk %d cell %d mismatch", d, i)
+			}
+		}
+	}
+}
+
+func BenchmarkRDPEncode7(b *testing.B) {
+	c, _ := NewRDP(7)
+	cells := make([][]byte, c.Rows()*c.Disks())
+	for _, ref := range c.DataRefs() {
+		cells[c.Idx(ref)] = make([]byte, 64<<10)
+	}
+	b.SetBytes(int64(c.DataCells() * 64 << 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSTARShapeAndValidation(t *testing.T) {
+	for _, p := range []int{0, 4, 6} {
+		if _, err := NewSTAR(p); err == nil {
+			t.Errorf("NewSTAR(%d) succeeded", p)
+		}
+	}
+	c, err := NewSTAR(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "STAR(5)" || c.Rows() != 4 || c.Disks() != 8 || c.DataCells() != 20 {
+		t.Fatalf("shape: %s %d×%d data %d", c.Name(), c.Rows(), c.Disks(), c.DataCells())
+	}
+}
+
+func TestSTARAllTripleDiskFailures(t *testing.T) {
+	for _, p := range []int{3, 5, 7} {
+		c, err := NewSTAR(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := encodeRandom(t, c, 16, int64(40+p))
+		n := c.Disks()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for d := b + 1; d < n; d++ {
+					broken := eraseDisks(c, cells, []int{a, b, d})
+					if err := c.ReconstructDisks(broken, []int{a, b, d}); err != nil {
+						t.Fatalf("STAR(%d) disks {%d,%d,%d}: %v", p, a, b, d, err)
+					}
+					for i := range cells {
+						if !bytes.Equal(broken[i], cells[i]) {
+							t.Fatalf("STAR(%d) disks {%d,%d,%d}: cell %d mismatch", p, a, b, d, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSTARQuadFailureUnrecoverable(t *testing.T) {
+	c, _ := NewSTAR(5)
+	if c.CanRecover([]int{0, 1, 2, 3}) {
+		t.Fatal("STAR must not recover 4 disks")
+	}
+}

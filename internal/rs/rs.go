@@ -1,0 +1,97 @@
+// Package rs implements the systematic Reed-Solomon candidate code RS(k,m):
+// k data elements and m parity elements per row, tolerating any m erasures
+// (MDS). This is the "Reed-Solomon Code for Google" candidate of the EC-FRM
+// paper (§II-C), equivalent in behaviour to Jerasure's Vandermonde RS.
+//
+// The generator is built from a Cauchy block, whose every square submatrix
+// is invertible, so the MDS property holds by construction for any (k,m)
+// with k+m ≤ 256.
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/codes"
+	"repro/internal/matrix"
+)
+
+// Code is a systematic Reed-Solomon code with parameters (k, m).
+type Code struct {
+	*codes.Base
+	k, m int
+}
+
+// New constructs RS(k,m). It returns an error when the parameters are out of
+// the field's range or degenerate.
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("rs: invalid parameters k=%d m=%d", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("rs: k+m = %d exceeds field size 256", k+m)
+	}
+	gen := matrix.Identity(k).Stack(matrix.Cauchy(m, k))
+	return &Code{Base: codes.NewBase(gen), k: k, m: m}, nil
+}
+
+// Must constructs RS(k,m) and panics on invalid parameters. For tests and
+// tables of known-good configurations.
+func Must(k, m int) *Code {
+	c, err := New(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns "RS(k,m)".
+func (c *Code) Name() string { return fmt.Sprintf("RS(%d,%d)", c.k, c.m) }
+
+// M returns the number of parity elements per row.
+func (c *Code) M() int { return c.m }
+
+// RecoverySets returns candidate read sets for rebuilding element idx when
+// it is the only erasure. Every k-subset of the other n-1 elements works for
+// an MDS code; enumerating all of them is exponential, so two linear
+// families are offered:
+//
+//   - data-heavy sets: the other data elements plus one parity (one set per
+//     parity; for a lost parity, just the k data elements). These maximize
+//     overlap with a sequential read's direct accesses, so rebuilding costs
+//     almost no extra I/O — the choice that keeps degraded read cost nearly
+//     layout-independent (paper §VI-C, Figure 9a).
+//   - cyclic windows: the k survivors following idx at stride 1 from offset
+//     t. These give the planner genuinely different disk footprints to
+//     balance load across.
+func (c *Code) RecoverySets(idx int) [][]int {
+	n := c.N()
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("rs: element %d out of [0,%d)", idx, n))
+	}
+	var sets [][]int
+	otherData := make([]int, 0, c.k)
+	for j := 0; j < c.k && len(otherData) < c.k; j++ {
+		if j != idx {
+			otherData = append(otherData, j)
+		}
+	}
+	if idx < c.k {
+		// Lost data: other k-1 data + each parity in turn.
+		for p := c.k; p < n; p++ {
+			sets = append(sets, append(append([]int{}, otherData...), p))
+		}
+	} else {
+		// Lost parity: recompute from the k data elements.
+		sets = append(sets, otherData)
+	}
+	for t := 0; t < n-c.k; t++ {
+		set := make([]int, 0, c.k)
+		for j := 0; j < c.k; j++ {
+			set = append(set, (idx+1+t+j)%n)
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+var _ codes.Code = (*Code)(nil)

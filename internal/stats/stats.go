@@ -1,0 +1,122 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness and CLIs report with: streaming moments (Welford), exact sample
+// percentiles, and a text histogram for latency distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates streaming count/mean/variance/min/max and keeps the
+// samples for exact percentiles. The zero value is ready to use.
+type Summary struct {
+	samples []float64
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+	sorted  bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if len(s.samples) == 0 || v < s.min {
+		s.min = v
+	}
+	if len(s.samples) == 0 || v > s.max {
+		s.max = v
+	}
+	s.samples = append(s.samples, v)
+	s.sorted = false
+	delta := v - s.mean
+	s.mean += delta / float64(len(s.samples))
+	s.m2 += delta * (v - s.mean)
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Summary) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 samples).
+func (s *Summary) StdDev() float64 {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(len(s.samples)-1))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using the
+// nearest-rank method; 0 when empty. Percentile(50) is the median.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	return s.samples[rank-1]
+}
+
+// Histogram renders the sample distribution as `buckets` equal-width text
+// bars, each line showing the bucket range, count, and a bar scaled to the
+// largest bucket. Empty summaries render a placeholder.
+func (s *Summary) Histogram(buckets int, unit string) string {
+	if len(s.samples) == 0 || buckets < 1 {
+		return "(no samples)\n"
+	}
+	width := (s.max - s.min) / float64(buckets)
+	if width == 0 {
+		return fmt.Sprintf("%10.4g %-6s %6d |%s\n", s.min, unit, len(s.samples),
+			strings.Repeat("█", 40))
+	}
+	counts := make([]int, buckets)
+	for _, v := range s.samples {
+		b := int((v - s.min) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var out strings.Builder
+	for b, c := range counts {
+		lo := s.min + float64(b)*width
+		bar := strings.Repeat("█", int(math.Round(40*float64(c)/float64(peak))))
+		fmt.Fprintf(&out, "%10.4g %-6s %6d |%s\n", lo, unit, c, bar)
+	}
+	return out.String()
+}
+
+// String summarizes as one line: count, mean, stddev, min/p50/p99/max.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.Count(), s.Mean(), s.StdDev(), s.Min(), s.Percentile(50), s.Percentile(99), s.Max())
+}

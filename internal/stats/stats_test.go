@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptySummary(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary must be all zeros")
+	}
+	if !strings.Contains(s.Histogram(5, "s"), "no samples") {
+		t.Fatal("empty histogram placeholder missing")
+	}
+}
+
+func TestKnownMoments(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 || s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Sample stddev of that classic dataset: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 50: 50, 99: 99, 100: 100, 1: 1}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("p%.0f = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileAfterMoreAdds(t *testing.T) {
+	// Adding after a percentile query must keep results correct
+	// (sorted-flag handling).
+	var s Summary
+	s.Add(10)
+	if s.Percentile(50) != 10 {
+		t.Fatal("median of one")
+	}
+	s.Add(1)
+	s.Add(20)
+	if s.Percentile(50) != 10 || s.Percentile(100) != 20 {
+		t.Fatal("percentiles after interleaved adds wrong")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Fatalf("duration mean = %v", s.Mean())
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	var s Summary
+	for i := 0; i < 50; i++ {
+		s.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(9)
+	}
+	h := s.Histogram(4, "ms")
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d histogram lines, want 4:\n%s", len(lines), h)
+	}
+	// Peak bucket gets the full 40-char bar.
+	if !strings.Contains(lines[0], strings.Repeat("█", 40)) {
+		t.Fatalf("peak bucket not full-width:\n%s", h)
+	}
+	// Constant samples render the degenerate single line.
+	var c Summary
+	c.Add(3)
+	c.Add(3)
+	if !strings.Contains(c.Histogram(4, "s"), "2 |") {
+		t.Fatalf("degenerate histogram wrong:\n%s", c.Histogram(4, "s"))
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	out := s.String()
+	for _, want := range []string{"n=2", "mean=2", "p99=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestPropertyMeanWithinMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		var s Summary
+		count := int(n)%100 + 1
+		for i := 0; i < count; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max() &&
+			s.Percentile(0) == s.Min() && s.Percentile(100) == s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var s Summary
+	var vals []float64
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()*1e6 - 5e5
+		vals = append(vals, v)
+		s.Add(v)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	naiveSD := math.Sqrt(ss / float64(len(vals)-1))
+	if math.Abs(s.Mean()-mean) > 1e-6 || math.Abs(s.StdDev()-naiveSD) > 1e-6 {
+		t.Fatalf("streaming %v/%v vs naive %v/%v", s.Mean(), s.StdDev(), mean, naiveSD)
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, layout.FormECFRM)
+	data := fill(t, s, 7000, 120)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(core.MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stripes() != s.Stripes() || loaded.Len() != s.Len() {
+		t.Fatalf("geometry: %d/%d stripes, %d/%d bytes",
+			loaded.Stripes(), s.Stripes(), loaded.Len(), s.Len())
+	}
+	res, err := loaded.ReadAt(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("loaded store returned different bytes")
+	}
+	if bad, _ := loaded.Scrub(); bad != nil {
+		t.Fatalf("loaded store scrubs dirty: %v", bad)
+	}
+	// Degraded read still works on the loaded store.
+	loaded.FailDisk(5)
+	res, err = loaded.ReadAt(100, 2000)
+	if err != nil || !bytes.Equal(res.Data, data[100:2100]) {
+		t.Fatalf("degraded read on loaded store: %v", err)
+	}
+}
+
+func TestSaveRefusesPendingAndFailed(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, layout.FormECFRM)
+	if err := s.Append([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err == nil {
+		t.Fatal("save with pending bytes must fail")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.FailDisk(1)
+	if err := s.Save(dir); !errors.Is(err, ErrFailed) {
+		t.Fatalf("save with failed disk: %v", err)
+	}
+}
+
+func TestLoadRejectsMismatchedScheme(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, layout.FormECFRM)
+	fill(t, s, 2000, 121)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong code entirely.
+	if _, err := Load(core.MustScheme(rs.Must(6, 3), layout.FormECFRM), dir); !errors.Is(err, ErrManifest) {
+		t.Fatalf("wrong scheme: %v", err)
+	}
+	// Same code, wrong form.
+	if _, err := Load(core.MustScheme(lrc.Must(6, 2, 2), layout.FormStandard), dir); !errors.Is(err, ErrManifest) {
+		t.Fatalf("wrong form: %v", err)
+	}
+	// Missing directory.
+	if _, err := Load(core.MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM), filepath.Join(dir, "nope")); !errors.Is(err, ErrManifest) {
+		t.Fatalf("missing manifest: %v", err)
+	}
+}
+
+func TestCorruptionSurvivesSaveLoad(t *testing.T) {
+	// Silent corruption on a saved store must stay detectable after Load
+	// (checksums persist verbatim, not recomputed over corrupt bytes).
+	dir := t.TempDir()
+	s := testStore(t, layout.FormECFRM)
+	data := fill(t, s, 3000, 122)
+	if err := s.CorruptCell(0, layout.Pos{Row: 0, Col: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(core.MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := loaded.VerifyChecksums()
+	if len(bad) != 1 || bad[0].Stripe != 0 || bad[0].Pos != (layout.Pos{Row: 0, Col: 1}) {
+		t.Fatalf("VerifyChecksums = %+v, want the one corrupted cell", bad)
+	}
+	// And a read through it heals.
+	res, err := loaded.ReadAt(64, 64)
+	if err != nil || res.Healed != 1 {
+		t.Fatalf("healing read: healed=%d err=%v", res.Healed, err)
+	}
+	if !bytes.Equal(res.Data, data[64:128]) {
+		t.Fatal("healed bytes wrong")
+	}
+	if got := loaded.VerifyChecksums(); got != nil {
+		t.Fatalf("checksums still bad after heal: %v", got)
+	}
+}
+
+func TestVerifyChecksumsClean(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	fill(t, s, 1000, 123)
+	if bad := s.VerifyChecksums(); bad != nil {
+		t.Fatalf("clean store reports %v", bad)
+	}
+}

@@ -1,0 +1,536 @@
+// Package store implements an erasure-coded blob store over a set of
+// simulated devices — the "erasure coded cloud storage system" substrate the
+// paper evaluates on.
+//
+// Writes follow the paper's append-only model (§I): user bytes accumulate in
+// a buffer and are erasure coded a full stripe at a time. Reads go through
+// the core planner: normal reads touch only data cells, degraded reads fetch
+// recovery sets and decode. Every device access is counted, so experiments
+// can cross-check planned loads against observed I/O.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+// ErrRange is returned for reads outside the written extent.
+var ErrRange = errors.New("store: read out of range")
+
+// ErrFailed is returned when an operation touches a failed device without a
+// recovery path.
+var ErrFailed = errors.New("store: device failed")
+
+// ErrCorrupt is returned when a cell's content no longer matches the
+// checksum recorded at write time (silent bit rot). Reads heal such cells
+// automatically when the group has enough redundancy.
+var ErrCorrupt = errors.New("store: corrupt cell")
+
+// Device is one simulated disk: a cell container with I/O accounting and
+// per-cell CRC32C checksums that detect silent corruption on read.
+type Device struct {
+	id     int
+	cells  map[cellKey][]byte
+	crcs   map[cellKey]uint32
+	failed bool
+	// Reads and Writes count element-granularity accesses.
+	Reads  int
+	Writes int
+}
+
+type cellKey struct {
+	stripe int
+	pos    layout.Pos
+}
+
+func newDevice(id int) *Device {
+	return &Device{
+		id:    id,
+		cells: make(map[cellKey][]byte),
+		crcs:  make(map[cellKey]uint32),
+	}
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ID returns the device's index in the array.
+func (d *Device) ID() int { return d.id }
+
+// Failed reports whether the device is marked failed.
+func (d *Device) Failed() bool { return d.failed }
+
+// Elements returns the number of elements currently stored on the device.
+func (d *Device) Elements() int { return len(d.cells) }
+
+func (d *Device) write(k cellKey, data []byte) {
+	d.cells[k] = data
+	d.crcs[k] = crc32.Checksum(data, castagnoli)
+	d.Writes++
+}
+
+func (d *Device) read(k cellKey) ([]byte, error) {
+	if d.failed {
+		return nil, fmt.Errorf("%w: device %d", ErrFailed, d.id)
+	}
+	data, ok := d.cells[k]
+	if !ok {
+		return nil, fmt.Errorf("store: device %d has no element %v", d.id, k)
+	}
+	d.Reads++
+	if crc32.Checksum(data, castagnoli) != d.crcs[k] {
+		return nil, fmt.Errorf("%w: device %d stripe %d cell (%d,%d)",
+			ErrCorrupt, d.id, k.stripe, k.pos.Row, k.pos.Col)
+	}
+	return data, nil
+}
+
+// Store is an erasure-coded append-only blob store.
+type Store struct {
+	scheme   *core.Scheme
+	elemSize int
+	devices  []*Device
+	stripes  int    // full stripes sealed so far
+	pending  []byte // buffered bytes not yet forming a full stripe
+	length   int64  // total bytes appended
+}
+
+// New creates a store using the given scheme with elemSize-byte elements.
+func New(scheme *core.Scheme, elemSize int) (*Store, error) {
+	if elemSize < 1 {
+		return nil, fmt.Errorf("store: element size %d must be positive", elemSize)
+	}
+	devs := make([]*Device, scheme.N())
+	for i := range devs {
+		devs[i] = newDevice(i)
+	}
+	return &Store{scheme: scheme, elemSize: elemSize, devices: devs}, nil
+}
+
+// MustNew is New for known-good arguments; it panics on error.
+func MustNew(scheme *core.Scheme, elemSize int) *Store {
+	s, err := New(scheme, elemSize)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Scheme returns the erasure-coding scheme in use.
+func (s *Store) Scheme() *core.Scheme { return s.scheme }
+
+// ElementSize returns the element size in bytes.
+func (s *Store) ElementSize() int { return s.elemSize }
+
+// Len returns the total number of bytes appended so far.
+func (s *Store) Len() int64 { return s.length }
+
+// Stripes returns the number of sealed (fully encoded) stripes.
+func (s *Store) Stripes() int { return s.stripes }
+
+// Device returns device d for inspection.
+func (s *Store) Device(d int) *Device {
+	return s.devices[d]
+}
+
+// ResetCounters zeroes every device's I/O counters.
+func (s *Store) ResetCounters() {
+	for _, d := range s.devices {
+		d.Reads, d.Writes = 0, 0
+	}
+}
+
+// stripeBytes is the user-data capacity of one stripe.
+func (s *Store) stripeBytes() int { return s.scheme.DataPerStripe() * s.elemSize }
+
+// Append adds data to the store, sealing (encoding and distributing) every
+// stripe that fills. Partial tails stay buffered until more data arrives or
+// Flush pads them out.
+func (s *Store) Append(data []byte) error {
+	s.pending = append(s.pending, data...)
+	s.length += int64(len(data))
+	for len(s.pending) >= s.stripeBytes() {
+		if err := s.seal(s.pending[:s.stripeBytes()]); err != nil {
+			return err
+		}
+		s.pending = s.pending[s.stripeBytes():]
+	}
+	return nil
+}
+
+// Flush zero-pads and seals any buffered partial stripe. The store's Len is
+// unchanged: padding is not user data.
+func (s *Store) Flush() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	buf := make([]byte, s.stripeBytes())
+	copy(buf, s.pending)
+	s.pending = nil
+	return s.seal(buf)
+}
+
+// seal encodes one stripe's worth of bytes and writes all cells to devices.
+func (s *Store) seal(buf []byte) error {
+	dps := s.scheme.DataPerStripe()
+	data := make([][]byte, dps)
+	for e := range data {
+		// Copy: the pending buffer is reused.
+		shard := make([]byte, s.elemSize)
+		copy(shard, buf[e*s.elemSize:(e+1)*s.elemSize])
+		data[e] = shard
+	}
+	cells, err := s.scheme.EncodeStripe(data)
+	if err != nil {
+		return err
+	}
+	lay := s.scheme.Layout()
+	n := s.scheme.N()
+	for row := 0; row < lay.Rows(); row++ {
+		for col := 0; col < n; col++ {
+			pos := layout.Pos{Row: row, Col: col}
+			disk := lay.Disk(s.stripes, col)
+			s.devices[disk].write(cellKey{s.stripes, pos}, cells[row*n+col])
+		}
+	}
+	s.stripes++
+	return nil
+}
+
+// FailDisk marks device d failed. Its contents become unreadable until
+// RecoverDisk rebuilds them.
+func (s *Store) FailDisk(d int) {
+	s.devices[d].failed = true
+}
+
+// FailedDisks returns the currently failed device IDs, ascending.
+func (s *Store) FailedDisks() []int {
+	var out []int
+	for _, d := range s.devices {
+		if d.failed {
+			out = append(out, d.id)
+		}
+	}
+	return out
+}
+
+// ReadResult carries a read's payload alongside the plan that produced it,
+// so callers can feed the plan's loads into a timing model.
+type ReadResult struct {
+	Data []byte
+	Plan *core.Plan
+	// Healed counts cells whose checksum failed during this read and that
+	// were rebuilt from their group and rewritten in place.
+	Healed int
+}
+
+// ReadAt reads length bytes starting at byte offset off. With no failed
+// devices this is a normal read; with failures the planner fetches recovery
+// sets and the store decodes the lost elements. Bytes must lie within
+// sealed stripes (append full stripes or Flush first).
+func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("%w: off=%d length=%d", ErrRange, off, length)
+	}
+	sealed := int64(s.stripes) * int64(s.stripeBytes())
+	if off+int64(length) > sealed {
+		return nil, fmt.Errorf("%w: [%d,%d) beyond sealed extent %d", ErrRange, off, off+int64(length), sealed)
+	}
+	if length == 0 {
+		return &ReadResult{Data: []byte{}, Plan: &core.Plan{}}, nil
+	}
+	startElem := int(off / int64(s.elemSize))
+	endElem := int((off + int64(length) - 1) / int64(s.elemSize))
+	count := endElem - startElem + 1
+
+	failed := s.FailedDisks()
+	var plan *core.Plan
+	var err error
+	if len(failed) == 0 {
+		plan, err = s.scheme.PlanNormalRead(startElem, count)
+	} else {
+		plan, err = s.scheme.PlanDegradedRead(startElem, count, failed)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Execute the plan: fetch each planned cell into per-stripe buffers.
+	// Checksum failures are healed on the fly from the cell's group.
+	fetched := make(map[int][][]byte) // stripe → cells
+	healed := 0
+	for _, a := range plan.Reads {
+		cells, ok := fetched[a.Stripe]
+		if !ok {
+			cells = make([][]byte, s.scheme.CellsPerStripe())
+			fetched[a.Stripe] = cells
+		}
+		data, err := s.devices[a.Disk].read(cellKey{a.Stripe, a.Pos})
+		if errors.Is(err, ErrCorrupt) {
+			data, err = s.healCell(a.Stripe, a.Pos)
+			if err != nil {
+				return nil, err
+			}
+			healed++
+		}
+		if err != nil {
+			return nil, err
+		}
+		cells[a.Pos.Row*s.scheme.N()+a.Pos.Col] = data
+	}
+
+	// Assemble the requested elements, decoding lost ones on the fly.
+	dps := s.scheme.DataPerStripe()
+	out := make([]byte, 0, count*s.elemSize)
+	for x := startElem; x <= endElem; x++ {
+		stripe, e := x/dps, x%dps
+		cells, ok := fetched[stripe]
+		if !ok {
+			return nil, fmt.Errorf("store: plan missed stripe %d", stripe)
+		}
+		shard, err := s.scheme.RebuildData(cells, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, shard...)
+	}
+	skip := int(off - int64(startElem)*int64(s.elemSize))
+	return &ReadResult{Data: out[skip : skip+length], Plan: plan, Healed: healed}, nil
+}
+
+// healCell rebuilds a corrupt (checksum-failing) cell from the surviving
+// cells of its code group, rewrites it to its device, and returns the clean
+// bytes. The corrupt cell and any failed disks count as erasures.
+func (s *Store) healCell(stripe int, pos layout.Pos) ([]byte, error) {
+	lay := s.scheme.Layout()
+	target := lay.CellAt(pos)
+	group := make([][]byte, s.scheme.Code().N())
+	for t := 0; t < s.scheme.Code().N(); t++ {
+		p := lay.GroupCell(target.Group, t)
+		if p == pos {
+			continue // the corrupt cell itself
+		}
+		disk := lay.Disk(stripe, p.Col)
+		data, err := s.devices[disk].read(cellKey{stripe, p})
+		if err != nil {
+			// Failed disk, or a second corrupt cell: leave as erasure and
+			// let the decoder decide recoverability.
+			continue
+		}
+		group[t] = data
+	}
+	if err := s.scheme.Code().ReconstructElements(group, []int{target.Element}); err != nil {
+		return nil, fmt.Errorf("%w: cannot heal stripe %d cell (%d,%d): %v",
+			ErrCorrupt, stripe, pos.Row, pos.Col, err)
+	}
+	clean := group[target.Element]
+	s.devices[lay.Disk(stripe, pos.Col)].write(cellKey{stripe, pos}, clean)
+	return clean, nil
+}
+
+// WriteAt overwrites length-len(data) bytes at offset off within the sealed
+// extent, using the read-modify-write small-write path: for each touched
+// element, the old cell is read, the delta folded into the group's parity
+// cells, and only those cells rewritten. Writes must be element-aligned and
+// a whole number of elements (partial-element updates would need a
+// read-merge step the paper's append-only model never exercises). All disks
+// must be healthy.
+func (s *Store) WriteAt(off int64, data []byte) error {
+	if off < 0 || off%int64(s.elemSize) != 0 || len(data)%s.elemSize != 0 {
+		return fmt.Errorf("%w: write [%d,+%d) not element-aligned (element %d)",
+			ErrRange, off, len(data), s.elemSize)
+	}
+	sealed := int64(s.stripes) * int64(s.stripeBytes())
+	if off+int64(len(data)) > sealed {
+		return fmt.Errorf("%w: write [%d,+%d) beyond sealed extent %d", ErrRange, off, len(data), sealed)
+	}
+	if failed := s.FailedDisks(); len(failed) > 0 {
+		return fmt.Errorf("%w: cannot update with failed disks %v (recover first)", ErrFailed, failed)
+	}
+	lay := s.scheme.Layout()
+	n := s.scheme.N()
+	dps := s.scheme.DataPerStripe()
+	count := len(data) / s.elemSize
+	startElem := int(off / int64(s.elemSize))
+	// Group touched elements by stripe and apply per-stripe updates.
+	for i := 0; i < count; i++ {
+		x := startElem + i
+		stripe, e := x/dps, x%dps
+		// Materialize the element's cell and its group's parity cells.
+		cells := make([][]byte, s.scheme.CellsPerStripe())
+		pos := lay.DataPos(e)
+		cell := lay.CellAt(pos)
+		load := func(p layout.Pos) error {
+			disk := lay.Disk(stripe, p.Col)
+			data, err := s.devices[disk].read(cellKey{stripe, p})
+			if err != nil {
+				return err
+			}
+			// Copy: UpdateData mutates parity in place and we re-write it.
+			cells[p.Row*n+p.Col] = append([]byte(nil), data...)
+			return nil
+		}
+		if err := load(pos); err != nil {
+			return err
+		}
+		for t := s.scheme.Code().K(); t < s.scheme.Code().N(); t++ {
+			if err := load(lay.GroupCell(cell.Group, t)); err != nil {
+				return err
+			}
+		}
+		touched, err := s.scheme.UpdateData(cells, e, data[i*s.elemSize:(i+1)*s.elemSize])
+		if err != nil {
+			return err
+		}
+		for _, idx := range touched {
+			p := layout.Pos{Row: idx / n, Col: idx % n}
+			s.devices[lay.Disk(stripe, p.Col)].write(cellKey{stripe, p}, cells[idx])
+		}
+	}
+	return nil
+}
+
+// RecoverDisk rebuilds every element of failed device d from the survivors
+// onto a fresh replacement, clears the failure flag, and returns the number
+// of distinct elements read from other devices during the repair.
+//
+// Recovery is I/O-minimal per group: each lost cell is rebuilt from the
+// candidate code's cheapest usable recovery set (LRC's local groups make
+// this k/l reads per data element instead of k), with reads shared across
+// the lost cells of a stripe. If no minimal set survives (multiple failures
+// or corruption), the group falls back to reading every surviving element.
+func (s *Store) RecoverDisk(d int) (readCost int, err error) {
+	dev := s.devices[d]
+	if !dev.failed {
+		return 0, fmt.Errorf("store: device %d is not failed", d)
+	}
+	failedSet := make(map[int]bool)
+	for _, f := range s.FailedDisks() {
+		failedSet[f] = true
+	}
+	lay := s.scheme.Layout()
+	code := s.scheme.Code()
+	replacement := newDevice(d)
+
+	for stripe := 0; stripe < s.stripes; stripe++ {
+		// Per-stripe read cache: an element fetched for one group's repair
+		// is free for the next (same physical element).
+		fetched := make(map[layout.Pos][]byte)
+		fetch := func(pos layout.Pos) ([]byte, bool) {
+			if data, ok := fetched[pos]; ok {
+				return data, true
+			}
+			disk := lay.Disk(stripe, pos.Col)
+			if failedSet[disk] {
+				return nil, false
+			}
+			data, err := s.devices[disk].read(cellKey{stripe, pos})
+			if err != nil {
+				// Failed or silently corrupt: treat as erased.
+				return nil, false
+			}
+			fetched[pos] = data
+			readCost++
+			return data, true
+		}
+
+		col := lay.Col(stripe, d)
+		for row := 0; row < lay.Rows(); row++ {
+			pos := layout.Pos{Row: row, Col: col}
+			cell := lay.CellAt(pos)
+			group := make([][]byte, code.N())
+			ok := false
+			// Try the cheapest surviving recovery set first.
+			for _, set := range code.RecoverySets(cell.Element) {
+				usable := true
+				for _, t := range set {
+					if _, have := fetch(lay.GroupCell(cell.Group, t)); !have {
+						usable = false
+						break
+					}
+				}
+				if usable {
+					for _, t := range set {
+						group[t] = fetched[lay.GroupCell(cell.Group, t)]
+					}
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				// Fallback: every surviving element of the group.
+				for t := 0; t < code.N(); t++ {
+					if t == cell.Element {
+						continue
+					}
+					if data, have := fetch(lay.GroupCell(cell.Group, t)); have {
+						group[t] = data
+					}
+				}
+			}
+			if err := code.ReconstructElements(group, []int{cell.Element}); err != nil {
+				return readCost, fmt.Errorf("store: rebuild stripe %d cell (%d,%d): %w",
+					stripe, pos.Row, pos.Col, err)
+			}
+			replacement.write(cellKey{stripe, pos}, group[cell.Element])
+		}
+	}
+	s.devices[d] = replacement
+	return readCost, nil
+}
+
+// Scrub verifies parity consistency of every sealed stripe, returning the
+// indices of corrupt stripes (nil if all clean). It reads every cell.
+func (s *Store) Scrub() ([]int, error) {
+	lay := s.scheme.Layout()
+	n := s.scheme.N()
+	var bad []int
+	for stripe := 0; stripe < s.stripes; stripe++ {
+		cells := make([][]byte, s.scheme.CellsPerStripe())
+		corrupt := false
+		for row := 0; row < lay.Rows() && !corrupt; row++ {
+			for col := 0; col < n; col++ {
+				data, err := s.devices[lay.Disk(stripe, col)].read(cellKey{stripe, layout.Pos{Row: row, Col: col}})
+				if errors.Is(err, ErrCorrupt) {
+					corrupt = true
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				cells[row*n+col] = data
+			}
+		}
+		if corrupt {
+			bad = append(bad, stripe)
+			continue
+		}
+		ok, err := s.scheme.VerifyStripe(cells)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			bad = append(bad, stripe)
+		}
+	}
+	return bad, nil
+}
+
+// CorruptCell overwrites one stored cell with garbage — a test hook for
+// scrub and failure-injection scenarios.
+func (s *Store) CorruptCell(stripe int, pos layout.Pos) error {
+	disk := s.scheme.Layout().Disk(stripe, pos.Col)
+	k := cellKey{stripe, pos}
+	dev := s.devices[disk]
+	cell, ok := dev.cells[k]
+	if !ok {
+		return fmt.Errorf("store: no cell %v on device %d", k, disk)
+	}
+	for i := range cell {
+		cell[i] ^= 0xa5
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCatalogLayout(t *testing.T) {
+	objs, err := Catalog(50, 1000, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 50 {
+		t.Fatalf("%d objects", len(objs))
+	}
+	var off int64
+	for i, o := range objs {
+		if o.ID != i || o.Off != off || o.Size < 1000 || o.Size > 5000 {
+			t.Fatalf("object %d malformed: %+v", i, o)
+		}
+		off += int64(o.Size)
+	}
+	if TotalBytes(objs) != off {
+		t.Fatalf("TotalBytes = %d, want %d", TotalBytes(objs), off)
+	}
+	if TotalBytes(nil) != 0 {
+		t.Fatal("empty catalog extent must be 0")
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	for _, p := range [][3]int{{0, 1, 2}, {5, 0, 2}, {5, 3, 2}} {
+		if _, err := Catalog(p[0], p[1], p[2], 1); err == nil {
+			t.Errorf("Catalog(%v) succeeded", p)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	objs, _ := Catalog(100, 1000, 1000, 2)
+	events, err := Zipf(objs, 20000, 1.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 20000 {
+		t.Fatalf("%d events", len(events))
+	}
+	pop := Popularity(events)
+	counts := make([]int, 0, len(pop))
+	total := 0
+	for _, c := range pop {
+		counts = append(counts, c)
+		total += c
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	// Zipf(1.2): the top 10 objects must dominate (well over 40% of reads);
+	// uniform would give them 10%.
+	top10 := 0
+	for _, c := range counts[:min(10, len(counts))] {
+		top10 += c
+	}
+	if frac := float64(top10) / float64(total); frac < 0.4 {
+		t.Fatalf("top-10 fraction %.2f too uniform for Zipf", frac)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	objs, _ := Catalog(5, 10, 10, 4)
+	if _, err := Zipf(nil, 10, 1.2, 1); err == nil {
+		t.Error("empty catalog")
+	}
+	if _, err := Zipf(objs, -1, 1.2, 1); err == nil {
+		t.Error("negative events")
+	}
+	if _, err := Zipf(objs, 10, 1.0, 1); err == nil {
+		t.Error("exponent ≤ 1")
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	objs, _ := Catalog(20, 10, 10, 5)
+	events, err := Uniform(objs, 5000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := Popularity(events)
+	if len(pop) != 20 {
+		t.Fatalf("only %d objects read", len(pop))
+	}
+	for id, c := range pop {
+		if c < 100 || c > 500 {
+			t.Fatalf("object %d count %d implausible for uniform", id, c)
+		}
+	}
+	if _, err := Uniform(nil, 1, 1); err == nil {
+		t.Error("empty catalog must fail")
+	}
+	if _, err := Uniform(objs, -1, 1); err == nil {
+		t.Error("negative events must fail")
+	}
+}
+
+func TestEventsMatchCatalog(t *testing.T) {
+	objs, _ := Catalog(10, 100, 200, 7)
+	events, _ := Zipf(objs, 500, 1.5, 8)
+	for _, e := range events {
+		o := objs[e.Object]
+		if e.Off != o.Off || e.Size != o.Size {
+			t.Fatalf("event %+v disagrees with catalog object %+v", e, o)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	objs, _ := Catalog(10, 100, 200, 9)
+	events, _ := Uniform(objs, 100, 10)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("%d events back, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"badHeader": "a,b,c\n1,2,3\n",
+		"badRow":    "object,off,size\nx,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	objs, _ := Catalog(30, 10, 20, 11)
+	a, _ := Zipf(objs, 200, 1.3, 12)
+	b, _ := Zipf(objs, 200, 1.3, 12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+package vertical
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// encodeRandom builds a fully encoded array with random data.
+func encodeRandom(t testing.TB, c *Code, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([][]byte, c.Rows()*c.Disks())
+	for _, ref := range c.DataRefs() {
+		b := make([]byte, size)
+		rng.Read(b)
+		cells[ref.Row*c.Disks()+ref.Disk] = b
+	}
+	if err := c.Encode(cells); err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func eraseDisks(c *Code, cells [][]byte, disks []int) [][]byte {
+	failed := make(map[int]bool)
+	for _, d := range disks {
+		failed[d] = true
+	}
+	out := make([][]byte, len(cells))
+	for i, cell := range cells {
+		if !failed[i%c.Disks()] {
+			out[i] = cell
+		}
+	}
+	return out
+}
+
+func TestNewXCodeValidation(t *testing.T) {
+	for _, p := range []int{0, 3, 4, 6, 9} {
+		if _, err := NewXCode(p); err == nil {
+			t.Errorf("NewXCode(%d) succeeded", p)
+		}
+	}
+	c, err := NewXCode(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "X-Code(5)" || c.Rows() != 5 || c.Disks() != 5 {
+		t.Fatalf("shape wrong: %s %d×%d", c.Name(), c.Rows(), c.Disks())
+	}
+	if c.DataCells() != 15 { // (p-2)·p
+		t.Fatalf("data cells = %d", c.DataCells())
+	}
+	// Storage overhead p/(p-2).
+	if got := c.StorageOverhead(); got < 1.66 || got > 1.67 {
+		t.Fatalf("overhead = %v, want 5/3", got)
+	}
+}
+
+func TestNewWeaverValidation(t *testing.T) {
+	for _, n := range []int{0, 3} {
+		if _, err := NewWeaver(n); err == nil {
+			t.Errorf("NewWeaver(%d) succeeded", n)
+		}
+	}
+	c, err := NewWeaver(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StorageOverhead() != 2.0 {
+		t.Fatalf("WEAVER overhead = %v, want 2.0 (50%% efficiency)", c.StorageOverhead())
+	}
+}
+
+func TestXCodeParityDefinition(t *testing.T) {
+	// Spot-check the diagonal structure for p=5: parity (3,0) must be the
+	// XOR of data cells (k, (0+k+2) mod 5) for k=0,1,2.
+	c, _ := NewXCode(5)
+	cells := encodeRandom(t, c, 16, 1)
+	want := make([]byte, 16)
+	for k := 0; k < 3; k++ {
+		src := cells[k*5+(k+2)%5]
+		for i := range want {
+			want[i] ^= src[i]
+		}
+	}
+	if !bytes.Equal(cells[3*5+0], want) {
+		t.Fatal("diagonal parity (3,0) wrong")
+	}
+	// Anti-diagonal: parity (4,0) = XOR of (k, (0-k-2) mod 5).
+	want = make([]byte, 16)
+	for k := 0; k < 3; k++ {
+		src := cells[k*5+mod(-k-2, 5)]
+		for i := range want {
+			want[i] ^= src[i]
+		}
+	}
+	if !bytes.Equal(cells[4*5+0], want) {
+		t.Fatal("anti-diagonal parity (4,0) wrong")
+	}
+}
+
+func TestXCodeAllDoubleDiskFailures(t *testing.T) {
+	for _, p := range []int{5, 7, 11} {
+		c, err := NewXCode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := encodeRandom(t, c, 24, int64(p))
+		for a := 0; a < p; a++ {
+			for b := a + 1; b < p; b++ {
+				broken := eraseDisks(c, cells, []int{a, b})
+				if err := c.ReconstructDisks(broken, []int{a, b}); err != nil {
+					t.Fatalf("X-Code(%d) disks {%d,%d}: %v", p, a, b, err)
+				}
+				for i := range cells {
+					if !bytes.Equal(broken[i], cells[i]) {
+						t.Fatalf("X-Code(%d) disks {%d,%d}: cell %d mismatch", p, a, b, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestXCodeSingleDiskFailure(t *testing.T) {
+	c, _ := NewXCode(7)
+	cells := encodeRandom(t, c, 8, 2)
+	for d := 0; d < 7; d++ {
+		broken := eraseDisks(c, cells, []int{d})
+		if err := c.ReconstructDisks(broken, []int{d}); err != nil {
+			t.Fatalf("disk %d: %v", d, err)
+		}
+		for i := range cells {
+			if !bytes.Equal(broken[i], cells[i]) {
+				t.Fatalf("disk %d cell %d mismatch", d, i)
+			}
+		}
+	}
+}
+
+func TestXCodeTripleFailureFails(t *testing.T) {
+	c, _ := NewXCode(5)
+	if c.CanRecover([]int{0, 1, 2}) {
+		t.Fatal("X-Code must not recover 3 disk failures")
+	}
+	cells := encodeRandom(t, c, 8, 3)
+	broken := eraseDisks(c, cells, []int{0, 1, 2})
+	if err := c.ReconstructDisks(broken, []int{0, 1, 2}); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestWeaverAllDoubleDiskFailures(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 10} {
+		c, err := NewWeaver(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := encodeRandom(t, c, 16, int64(n))
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				broken := eraseDisks(c, cells, []int{a, b})
+				if err := c.ReconstructDisks(broken, []int{a, b}); err != nil {
+					t.Fatalf("WEAVER(%d) disks {%d,%d}: %v", n, a, b, err)
+				}
+				for i := range cells {
+					if !bytes.Equal(broken[i], cells[i]) {
+						t.Fatalf("WEAVER(%d) disks {%d,%d}: cell %d mismatch", n, a, b, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWeaverTripleFailureFails(t *testing.T) {
+	c, _ := NewWeaver(6)
+	if c.CanRecover([]int{1, 2, 3}) {
+		t.Fatal("WEAVER(k=2,t=2) must not recover 3 failures")
+	}
+}
+
+func TestCanRecoverBounds(t *testing.T) {
+	c, _ := NewWeaver(5)
+	if c.CanRecover([]int{-1}) || c.CanRecover([]int{5}) {
+		t.Fatal("out-of-range disks must be unrecoverable")
+	}
+	if !c.CanRecover(nil) {
+		t.Fatal("no failures must be recoverable")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c, _ := NewWeaver(4)
+	if err := c.Encode(make([][]byte, 3)); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("short cells: %v", err)
+	}
+	cells := make([][]byte, 8)
+	cells[0] = []byte{1}
+	// remaining data cells nil
+	if err := c.Encode(cells); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("nil data: %v", err)
+	}
+	cells = make([][]byte, 8)
+	for d := 0; d < 4; d++ {
+		cells[d] = make([]byte, 4)
+	}
+	cells[1] = make([]byte, 5)
+	if err := c.Encode(cells); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("ragged data: %v", err)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	c, _ := NewWeaver(4)
+	if err := c.ReconstructDisks(make([][]byte, 3), []int{0}); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("short cells: %v", err)
+	}
+	cells := make([][]byte, 8)
+	if err := c.ReconstructDisks(cells, []int{9}); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("bad disk: %v", err)
+	}
+	if err := c.ReconstructDisks(cells, []int{0}); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("all-nil cells: %v", err)
+	}
+	// No failures: no-op.
+	good := encodeRandom(t, c, 4, 9)
+	if err := c.ReconstructDisks(good, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataRefsRowMajorAndComplete(t *testing.T) {
+	c, _ := NewXCode(5)
+	refs := c.DataRefs()
+	if len(refs) != c.DataCells() {
+		t.Fatalf("%d refs, want %d", len(refs), c.DataCells())
+	}
+	for i := 1; i < len(refs); i++ {
+		a, b := refs[i-1], refs[i]
+		if a.Row > b.Row || (a.Row == b.Row && a.Disk >= b.Disk) {
+			t.Fatal("DataRefs not row-major")
+		}
+	}
+}
+
+// TestVerticalNormalReadSpread confirms the §III-A motivation: sequential
+// data on a vertical code spreads across all disks like EC-FRM (that's the
+// behaviour the framework borrows) — the cost is overhead/tolerance, not
+// read balance.
+func TestVerticalNormalReadSpread(t *testing.T) {
+	c, _ := NewXCode(7)
+	refs := c.DataRefs()
+	loads := make([]int, c.Disks())
+	for _, ref := range refs[:7] { // 7-element sequential read
+		loads[ref.Disk]++
+	}
+	for d, l := range loads {
+		if l != 1 {
+			t.Fatalf("disk %d load %d; X-Code sequential read must spread evenly", d, l)
+		}
+	}
+}
+
+func BenchmarkXCodeEncode7(b *testing.B) {
+	c, _ := NewXCode(7)
+	cells := make([][]byte, c.Rows()*c.Disks())
+	for _, ref := range c.DataRefs() {
+		cells[ref.Row*c.Disks()+ref.Disk] = make([]byte, 64<<10)
+	}
+	b.SetBytes(int64(c.DataCells() * 64 << 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXCodeDoubleRecovery(b *testing.B) {
+	c, _ := NewXCode(7)
+	cells := encodeRandom(b, c, 64<<10, 10)
+	b.SetBytes(int64(2 * c.Rows() * 64 << 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		broken := eraseDisks(c, cells, []int{1, 4})
+		if err := c.ReconstructDisks(broken, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

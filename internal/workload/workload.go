@@ -1,0 +1,127 @@
+// Package workload generates the randomized read workloads of the paper's
+// evaluation (§VI-B, §VI-C):
+//
+//   - Normal reads: 2000 trials; each trial picks a uniformly random start
+//     data element and a uniformly random size of 1 to 20 data elements.
+//   - Degraded reads: 5000 trials; each trial additionally picks a uniformly
+//     random failed disk.
+//
+// All randomness is seeded, so every (code, form) configuration can be
+// evaluated against the identical trial sequence — the paper's comparison is
+// meaningful only if the three layout forms see the same requests.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Paper protocol constants (§VI-B, §VI-C).
+const (
+	// MaxReadElements is the paper's maximum request size in data elements.
+	MaxReadElements = 20
+	// NormalTrials is the paper's normal-read experiment count.
+	NormalTrials = 2000
+	// DegradedTrials is the paper's degraded-read experiment count.
+	DegradedTrials = 5000
+)
+
+// ReadTrial is one randomized read request.
+type ReadTrial struct {
+	// Start is the global index of the first data element requested.
+	Start int
+	// Count is the number of sequential data elements requested, in [1,20].
+	Count int
+	// FailedDisk is the disk erased for this trial; -1 for normal reads.
+	FailedDisk int
+}
+
+// Config bounds trial generation.
+type Config struct {
+	// TotalElements is the extent of readable data elements; trials are
+	// generated so Start+Count never exceeds it.
+	TotalElements int
+	// Disks is the array width; degraded trials fail one disk in [0,Disks).
+	Disks int
+	// MaxSize overrides the maximum request size when positive
+	// (default MaxReadElements).
+	MaxSize int
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c Config) maxSize() int {
+	if c.MaxSize > 0 {
+		return c.MaxSize
+	}
+	return MaxReadElements
+}
+
+// Validate reports whether trials can be generated from this config.
+func (c Config) Validate() error {
+	if c.TotalElements < c.maxSize() {
+		return fmt.Errorf("workload: %d total elements < max request size %d",
+			c.TotalElements, c.maxSize())
+	}
+	if c.Disks < 1 {
+		return fmt.Errorf("workload: need at least one disk, got %d", c.Disks)
+	}
+	return nil
+}
+
+// Generator produces reproducible trial sequences.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator builds a generator, validating the config.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// MustGenerator is NewGenerator for known-good configs; it panics on error.
+func MustGenerator(cfg Config) *Generator {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Normal returns the next normal-read trial: uniform random start, uniform
+// random size in [1, max], clamped to fit the extent.
+func (g *Generator) Normal() ReadTrial {
+	count := 1 + g.rng.Intn(g.cfg.maxSize())
+	start := g.rng.Intn(g.cfg.TotalElements - count + 1)
+	return ReadTrial{Start: start, Count: count, FailedDisk: -1}
+}
+
+// Degraded returns the next degraded-read trial: like Normal plus a uniform
+// random failed disk.
+func (g *Generator) Degraded() ReadTrial {
+	t := g.Normal()
+	t.FailedDisk = g.rng.Intn(g.cfg.Disks)
+	return t
+}
+
+// NormalSeries generates n normal-read trials.
+func (g *Generator) NormalSeries(n int) []ReadTrial {
+	out := make([]ReadTrial, n)
+	for i := range out {
+		out[i] = g.Normal()
+	}
+	return out
+}
+
+// DegradedSeries generates n degraded-read trials.
+func (g *Generator) DegradedSeries(n int) []ReadTrial {
+	out := make([]ReadTrial, n)
+	for i := range out {
+		out[i] = g.Degraded()
+	}
+	return out
+}

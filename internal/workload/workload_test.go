@@ -1,0 +1,127 @@
+package workload
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{TotalElements: 100, Disks: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{TotalElements: 10, Disks: 10},           // extent < default max size
+		{TotalElements: 100, Disks: 0},           // no disks
+		{TotalElements: 3, Disks: 4, MaxSize: 5}, // extent < custom max
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestMustGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerator did not panic")
+		}
+	}()
+	MustGenerator(Config{})
+}
+
+func TestNormalTrialBounds(t *testing.T) {
+	g := MustGenerator(Config{TotalElements: 60, Disks: 10, Seed: 1})
+	for i := 0; i < 10000; i++ {
+		tr := g.Normal()
+		if tr.Count < 1 || tr.Count > MaxReadElements {
+			t.Fatalf("count %d out of [1,20]", tr.Count)
+		}
+		if tr.Start < 0 || tr.Start+tr.Count > 60 {
+			t.Fatalf("trial [%d,%d) out of extent", tr.Start, tr.Start+tr.Count)
+		}
+		if tr.FailedDisk != -1 {
+			t.Fatal("normal trial has a failed disk")
+		}
+	}
+}
+
+func TestDegradedTrialBounds(t *testing.T) {
+	g := MustGenerator(Config{TotalElements: 60, Disks: 10, Seed: 2})
+	seenDisk := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		tr := g.Degraded()
+		if tr.FailedDisk < 0 || tr.FailedDisk >= 10 {
+			t.Fatalf("failed disk %d out of range", tr.FailedDisk)
+		}
+		seenDisk[tr.FailedDisk] = true
+	}
+	if len(seenDisk) != 10 {
+		t.Fatalf("only %d distinct failed disks in 10000 trials", len(seenDisk))
+	}
+}
+
+func TestCustomMaxSize(t *testing.T) {
+	g := MustGenerator(Config{TotalElements: 30, Disks: 4, MaxSize: 5, Seed: 3})
+	for i := 0; i < 2000; i++ {
+		if tr := g.Normal(); tr.Count > 5 {
+			t.Fatalf("count %d exceeds custom max 5", tr.Count)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []ReadTrial {
+		g := MustGenerator(Config{TotalElements: 100, Disks: 12, Seed: 42})
+		return append(g.NormalSeries(100), g.DegradedSeries(100)...)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different seed differs.
+	g := MustGenerator(Config{TotalElements: 100, Disks: 12, Seed: 43})
+	c := append(g.NormalSeries(100), g.DegradedSeries(100)...)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical sequences")
+	}
+}
+
+func TestSeriesLengths(t *testing.T) {
+	g := MustGenerator(Config{TotalElements: 100, Disks: 10, Seed: 4})
+	if len(g.NormalSeries(NormalTrials)) != 2000 {
+		t.Fatal("NormalSeries length")
+	}
+	if len(g.DegradedSeries(DegradedTrials)) != 5000 {
+		t.Fatal("DegradedSeries length")
+	}
+}
+
+func TestSizeDistributionCoversRange(t *testing.T) {
+	// Paper: size uniform in [1,20]. Every size must occur over many
+	// trials, and the mean should be near 10.5.
+	g := MustGenerator(Config{TotalElements: 1000, Disks: 10, Seed: 5})
+	counts := make(map[int]int)
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr := g.Normal()
+		counts[tr.Count]++
+		sum += tr.Count
+	}
+	for size := 1; size <= 20; size++ {
+		if counts[size] == 0 {
+			t.Fatalf("size %d never generated", size)
+		}
+	}
+	mean := float64(sum) / n
+	if mean < 10 || mean > 11 {
+		t.Fatalf("mean size %v, want ≈10.5", mean)
+	}
+}
