@@ -1,0 +1,40 @@
+# Developer entry points. `make ci` is the gate every change should pass:
+# vet, the full test suite under the race detector, and a short benchmark
+# smoke run proving the kernel and pooled paths still execute.
+
+GO ?= go
+
+.PHONY: all build test ci vet race bench-smoke bench kernels-json fuzz-smoke
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# A fast benchmark pass (one short iteration per benchmark) that catches
+# panics/regressions in the bench harnesses without waiting for full timings.
+bench-smoke:
+	$(GO) test -run NONE -bench 'Encode|Reconstruct' -benchtime 1x -benchmem ./...
+
+# The real kernel/throughput numbers used in acceptance checks.
+bench:
+	$(GO) test -run NONE -bench 'Encode|Reconstruct' -benchmem .
+
+# Machine-readable kernel throughput report (BENCH_kernels.json).
+kernels-json:
+	$(GO) run ./cmd/ecfrmbench -kernels BENCH_kernels.json
+
+# A short fuzz run over the GF kernel equivalence target.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
+
+ci: vet race bench-smoke

@@ -1,0 +1,134 @@
+// Kernel microbenchmark mode: -kernels <path> measures the bulk GF(2^8)
+// multiply-accumulate throughput (the loop both encode and reconstruct spend
+// their time in) for the fast kernel path and the byte-wise reference across
+// shard sizes, and writes the results as JSON so later PRs can track the
+// perf trajectory against this file.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/gf"
+)
+
+// kernelShardSizes spans the cache regimes from L1-resident to streaming.
+var kernelShardSizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// kernelSources is the number of data shards combined per parity/decode
+// element, matching the paper's RS(6,3) configuration.
+const kernelSources = 6
+
+type kernelResult struct {
+	Kernel     string  `json:"kernel"` // "encode" or "reconstruct"
+	Path       string  `json:"path"`   // "fast" or "ref"
+	ShardBytes int     `json:"shard_bytes"`
+	Sources    int     `json:"sources"`
+	MBps       float64 `json:"mbps"`
+}
+
+type kernelReport struct {
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	SIMD      bool           `json:"simd"`
+	Timestamp string         `json:"timestamp"`
+	Results   []kernelResult `json:"results"`
+}
+
+// measureDot reports the MB/s of one dot-product pass over k sources of the
+// given size: three timed rounds, best round wins (the usual defence against
+// scheduler noise on shared machines).
+func measureDot(k, size int, seed int64, dot func(dst, coeffs []byte, vecs [][]byte)) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]byte, k)
+	for i := range vecs {
+		vecs[i] = make([]byte, size)
+		rng.Read(vecs[i])
+	}
+	coeffs := make([]byte, k)
+	for i := range coeffs {
+		coeffs[i] = byte(2 + rng.Intn(254)) // skip the 0/1 fast paths
+	}
+	dst := make([]byte, size)
+
+	// Calibrate an iteration count worth ~40ms, then take the best of 3.
+	dot(dst, coeffs, vecs)
+	start := time.Now()
+	dot(dst, coeffs, vecs)
+	per := time.Since(start)
+	iters := int(40 * time.Millisecond / (per + 1))
+	if iters < 1 {
+		iters = 1
+	}
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			dot(dst, coeffs, vecs)
+		}
+		elapsed := time.Since(start).Seconds()
+		mbps := float64(k*size*iters) / elapsed / 1e6
+		if mbps > best {
+			best = mbps
+		}
+	}
+	return best
+}
+
+// runKernelBench measures encode- and reconstruct-style multiply-accumulate
+// (same kernel, distinct coefficient draws) for both paths and writes the
+// JSON report to path.
+func runKernelBench(path string) error {
+	rep := kernelReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		SIMD:      gf.SIMDEnabled(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	paths := []struct {
+		name string
+		dot  func(dst, coeffs []byte, vecs [][]byte)
+	}{
+		{"fast", gf.DotSlice},
+		{"ref", gf.DotSliceRef},
+	}
+	fmt.Println("GF(2^8) kernel throughput (MB/s of source bytes processed)")
+	fmt.Printf("%-12s %-6s %10s %12s\n", "kernel", "path", "shard", "MB/s")
+	for _, kind := range []struct {
+		name string
+		seed int64
+	}{{"encode", 11}, {"reconstruct", 23}} {
+		for _, size := range kernelShardSizes {
+			for _, p := range paths {
+				mbps := measureDot(kernelSources, size, kind.seed, p.dot)
+				rep.Results = append(rep.Results, kernelResult{
+					Kernel:     kind.name,
+					Path:       p.name,
+					ShardBytes: size,
+					Sources:    kernelSources,
+					MBps:       mbps,
+				})
+				fmt.Printf("%-12s %-6s %9dK %12.1f\n", kind.name, p.name, size>>10, mbps)
+			}
+		}
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

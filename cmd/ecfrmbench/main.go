@@ -38,8 +38,17 @@ func main() {
 		concurrency = flag.Bool("concurrency", false, "also print the open-loop concurrency extension sweep")
 		network     = flag.Bool("network", false, "also print the client-bandwidth sensitivity sweep")
 		csvDir      = flag.String("csv", "", "also write each figure as <dir>/fig<ID>.csv for plotting")
+		kernels     = flag.String("kernels", "", "run the GF kernel microbenchmark and write JSON to this path (e.g. BENCH_kernels.json), then exit")
 	)
 	flag.Parse()
+
+	if *kernels != "" {
+		if err := runKernelBench(*kernels); err != nil {
+			fmt.Fprintln(os.Stderr, "kernels:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := experiment.Options{
 		ElementBytes:   *elem,

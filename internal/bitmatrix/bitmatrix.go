@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"repro/internal/gf"
 )
 
 // ErrSingular is returned when inversion meets a rank-deficient matrix.
@@ -169,9 +171,7 @@ func (m *Matrix) MulVec(out, packets [][]byte) {
 	}
 	for i := 0; i < m.rows; i++ {
 		dst := out[i]
-		for b := range dst {
-			dst[b] = 0
-		}
+		clear(dst)
 		ri := m.row(i)
 		for j := 0; j < m.cols; j++ {
 			if ri[j/64]>>(uint(j)%64)&1 == 1 {
@@ -179,9 +179,7 @@ func (m *Matrix) MulVec(out, packets [][]byte) {
 				if len(src) != len(dst) {
 					panic(fmt.Sprintf("bitmatrix: packet %d has %d bytes, want %d", j, len(src), len(dst)))
 				}
-				for b := range dst {
-					dst[b] ^= src[b]
-				}
+				gf.AddSlice(dst, src)
 			}
 		}
 	}
@@ -281,10 +279,7 @@ func (m *Matrix) SolveVec(rhs [][]byte) ([][]byte, error) {
 		for r := 0; r < work.rows; r++ {
 			if r != rank && work.At(r, col) {
 				work.xorRow(r, rank)
-				a, b := rhs[r], rhs[rank]
-				for i := range a {
-					a[i] ^= b[i]
-				}
+				gf.AddSlice(rhs[r], rhs[rank])
 			}
 		}
 		pivotRow[col] = rank

@@ -71,18 +71,92 @@ type Code interface {
 	ApplyDelta(parity [][]byte, elem int, delta []byte) error
 }
 
+// Allocator hands out shard buffers for decode outputs. Implementations must
+// return a zeroable buffer of exactly the requested length; they may recycle
+// memory (core.Buffers does, via sync.Pool), so callers own the buffer until
+// they choose to return it.
+type Allocator interface {
+	GetShard(size int) []byte
+}
+
+// heapAlloc is the fallback Allocator: plain make. Zero-sized, so converting
+// it to the Allocator interface does not allocate.
+type heapAlloc struct{}
+
+func (heapAlloc) GetShard(size int) []byte { return make([]byte, size) }
+
+// IntoEncoder is implemented by codes whose encode can write parity into
+// caller-provided cells without allocating.
+type IntoEncoder interface {
+	EncodeInto(parity, data [][]byte) error
+}
+
+// IntoReconstructor is implemented by codes whose decode can draw output
+// buffers from an Allocator instead of the heap.
+type IntoReconstructor interface {
+	ReconstructInto(shards [][]byte, alloc Allocator) error
+	ReconstructElementsInto(shards [][]byte, targets []int, alloc Allocator) error
+}
+
+// PositionalCoder reports whether the code's kernel is byte-positional:
+// parity byte b depends only on the data shards' bytes at offset b, so
+// encoding a byte sub-range of every shard independently yields the same
+// result as encoding whole shards. Generator-matrix codes are positional;
+// CRS is not (its packet layout mixes offsets). Intra-stripe chunking is
+// only valid for positional codes.
+type PositionalCoder interface {
+	PositionalKernel() bool
+}
+
+// PositionalKernel reports true: Base codes apply the generator matrix
+// byte-position by byte-position.
+func (b *Base) PositionalKernel() bool { return true }
+
+// baseScratch holds the index and shard-pointer slices a decode needs,
+// recycled through a pool so steady-state reconstruct allocates nothing.
+type baseScratch struct {
+	availIdx    []int
+	targetIdx   []int
+	availShards [][]byte
+	out         [][]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(baseScratch) }}
+
+func getScratch() *baseScratch { return scratchPool.Get().(*baseScratch) }
+
+func putScratch(s *baseScratch) {
+	s.availIdx = s.availIdx[:0]
+	s.targetIdx = s.targetIdx[:0]
+	for i := range s.availShards {
+		s.availShards[i] = nil
+	}
+	s.availShards = s.availShards[:0]
+	for i := range s.out {
+		s.out[i] = nil
+	}
+	s.out = s.out[:0]
+	scratchPool.Put(s)
+}
+
 // Base implements the generator-matrix-driven parts of Code. Concrete codes
 // embed it and supply Name and RecoverySets.
 type Base struct {
 	gen *matrix.Matrix // n×k, first k rows identity
-	n   int
-	k   int
-	ft  int
+	// parityMat is gen's parity block (rows k..n), precomputed so the encode
+	// hot path never re-slices the generator.
+	parityMat *matrix.Matrix
+	n         int
+	k         int
+	ft        int
 	// decodeCache memoizes SpanSolve coefficient matrices keyed by the
 	// (available, targets) bitmask pair — a storage system repairs the
 	// same failure pattern for every stripe, so the solve is paid once.
-	// Only used when n ≤ 64 (one word per mask). Safe for concurrent use.
-	decodeCache sync.Map // [2]uint64 → *matrix.Matrix
+	// Only used when n ≤ 64 (one word per mask). Guarded by decodeMu rather
+	// than sync.Map: loading a [2]uint64 key through an interface would box
+	// it and allocate, which the zero-alloc decode path cannot afford.
+	decodeMu    sync.RWMutex
+	decodeCache map[[2]uint64]*matrix.Matrix
 }
 
 // NewBase wraps an n×k systematic generator matrix. It panics if the first
@@ -98,7 +172,13 @@ func NewBase(gen *matrix.Matrix) *Base {
 	if !gen.SubMatrix(0, k, 0, k).IsIdentity() {
 		panic("codes: generator is not systematic")
 	}
-	b := &Base{gen: gen, n: n, k: k}
+	b := &Base{
+		gen:         gen,
+		parityMat:   gen.SubMatrix(k, n, 0, k),
+		n:           n,
+		k:           k,
+		decodeCache: make(map[[2]uint64]*matrix.Matrix),
+	}
 	b.ft = b.computeFaultTolerance()
 	return b
 }
@@ -128,8 +208,11 @@ func (b *Base) solveCoefficients(avail, targets []int) (*matrix.Matrix, error) {
 		for _, t := range targets {
 			key[1] |= 1 << uint(t)
 		}
-		if v, ok := b.decodeCache.Load(key); ok {
-			return v.(*matrix.Matrix), nil
+		b.decodeMu.RLock()
+		coeff, ok := b.decodeCache[key]
+		b.decodeMu.RUnlock()
+		if ok {
+			return coeff, nil
 		}
 	}
 	coeff, err := matrix.SpanSolve(b.gen.SelectRows(avail), b.gen.SelectRows(targets))
@@ -137,46 +220,82 @@ func (b *Base) solveCoefficients(avail, targets []int) (*matrix.Matrix, error) {
 		return nil, err
 	}
 	if cacheable {
-		b.decodeCache.Store(key, coeff)
+		b.decodeMu.Lock()
+		b.decodeCache[key] = coeff
+		b.decodeMu.Unlock()
 	}
 	return coeff, nil
 }
 
 // Encode computes the parity shards for the given data shards.
 func (b *Base) Encode(data [][]byte) ([][]byte, error) {
-	if len(data) != b.k {
-		return nil, fmt.Errorf("%w: got %d data shards, want %d", ErrShardSize, len(data), b.k)
-	}
-	size := -1
-	for i, d := range data {
-		if d == nil {
-			return nil, fmt.Errorf("%w: data shard %d is nil", ErrShardSize, i)
-		}
-		if size == -1 {
-			size = len(d)
-		} else if len(d) != size {
-			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(d), size)
-		}
+	size, err := b.checkData(data)
+	if err != nil {
+		return nil, err
 	}
 	parity := make([][]byte, b.n-b.k)
 	for i := range parity {
 		parity[i] = make([]byte, size)
 	}
-	pm := b.gen.SubMatrix(b.k, b.n, 0, b.k)
-	pm.MulVec(parity, data)
+	b.parityMat.MulVec(parity, data)
 	return parity, nil
+}
+
+// EncodeInto computes the parity shards into the caller-provided cells —
+// the zero-allocation encode path. parity must hold n-k buffers, each the
+// size of a data shard; contents are overwritten.
+func (b *Base) EncodeInto(parity, data [][]byte) error {
+	size, err := b.checkData(data)
+	if err != nil {
+		return err
+	}
+	if len(parity) != b.n-b.k {
+		return fmt.Errorf("%w: got %d parity cells, want %d", ErrShardSize, len(parity), b.n-b.k)
+	}
+	for i, p := range parity {
+		if len(p) != size {
+			return fmt.Errorf("%w: parity cell %d has %d bytes, want %d", ErrShardSize, i, len(p), size)
+		}
+	}
+	b.parityMat.MulVec(parity, data)
+	return nil
+}
+
+func (b *Base) checkData(data [][]byte) (int, error) {
+	if len(data) != b.k {
+		return 0, fmt.Errorf("%w: got %d data shards, want %d", ErrShardSize, len(data), b.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			return 0, fmt.Errorf("%w: data shard %d is nil", ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(d)
+		} else if len(d) != size {
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(d), size)
+		}
+	}
+	return size, nil
 }
 
 // Reconstruct rebuilds nil shards in place. shards must have length n.
 func (b *Base) Reconstruct(shards [][]byte) error {
+	return b.ReconstructInto(shards, heapAlloc{})
+}
+
+// ReconstructInto rebuilds nil shards in place, drawing the output buffers
+// from alloc — the zero-allocation decode path when alloc recycles memory.
+func (b *Base) ReconstructInto(shards [][]byte, alloc Allocator) error {
 	if len(shards) != b.n {
 		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), b.n)
 	}
-	var avail, erased []int
+	sc := getScratch()
+	defer putScratch(sc)
 	size := -1
 	for i, s := range shards {
 		if s == nil {
-			erased = append(erased, i)
+			sc.targetIdx = append(sc.targetIdx, i)
 			continue
 		}
 		if size == -1 {
@@ -184,29 +303,28 @@ func (b *Base) Reconstruct(shards [][]byte) error {
 		} else if len(s) != size {
 			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
 		}
-		avail = append(avail, i)
+		sc.availIdx = append(sc.availIdx, i)
 	}
+	erased := sc.targetIdx
 	if len(erased) == 0 {
 		return nil
 	}
 	if size == -1 {
 		return fmt.Errorf("%w: all shards erased", ErrShardSize)
 	}
-	coeff, err := b.solveCoefficients(avail, erased)
+	coeff, err := b.solveCoefficients(sc.availIdx, erased)
 	if err != nil {
 		return fmt.Errorf("%w: erased %v", ErrUnrecoverable, erased)
 	}
-	availShards := make([][]byte, len(avail))
-	for i, a := range avail {
-		availShards[i] = shards[a]
+	for _, a := range sc.availIdx {
+		sc.availShards = append(sc.availShards, shards[a])
 	}
-	out := make([][]byte, len(erased))
-	for i := range out {
-		out[i] = make([]byte, size)
+	for range erased {
+		sc.out = append(sc.out, alloc.GetShard(size))
 	}
-	coeff.MulVec(out, availShards)
+	coeff.MulVec(sc.out, sc.availShards)
 	for i, e := range erased {
-		shards[e] = out[i]
+		shards[e] = sc.out[i]
 	}
 	return nil
 }
@@ -217,10 +335,17 @@ func (b *Base) Reconstruct(shards [][]byte) error {
 // when other erased elements are unrecoverable — exactly the degraded-read
 // situation, where a minimal recovery set was read and nothing else.
 func (b *Base) ReconstructElements(shards [][]byte, targets []int) error {
+	return b.ReconstructElementsInto(shards, targets, heapAlloc{})
+}
+
+// ReconstructElementsInto is ReconstructElements drawing output buffers from
+// alloc — the zero-allocation degraded-read path when alloc recycles memory.
+func (b *Base) ReconstructElementsInto(shards [][]byte, targets []int, alloc Allocator) error {
 	if len(shards) != b.n {
 		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), b.n)
 	}
-	var avail []int
+	sc := getScratch()
+	defer putScratch(sc)
 	size := -1
 	for i, s := range shards {
 		if s == nil {
@@ -231,38 +356,36 @@ func (b *Base) ReconstructElements(shards [][]byte, targets []int) error {
 		} else if len(s) != size {
 			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
 		}
-		avail = append(avail, i)
+		sc.availIdx = append(sc.availIdx, i)
 	}
-	var missing []int
 	for _, t := range targets {
 		if t < 0 || t >= b.n {
 			return fmt.Errorf("%w: target %d out of [0,%d)", ErrShardSize, t, b.n)
 		}
 		if shards[t] == nil {
-			missing = append(missing, t)
+			sc.targetIdx = append(sc.targetIdx, t)
 		}
 	}
+	missing := sc.targetIdx
 	if len(missing) == 0 {
 		return nil
 	}
 	if size == -1 {
 		return fmt.Errorf("%w: all shards erased", ErrShardSize)
 	}
-	coeff, err := b.solveCoefficients(avail, missing)
+	coeff, err := b.solveCoefficients(sc.availIdx, missing)
 	if err != nil {
 		return fmt.Errorf("%w: targets %v", ErrUnrecoverable, missing)
 	}
-	availShards := make([][]byte, len(avail))
-	for i, a := range avail {
-		availShards[i] = shards[a]
+	for _, a := range sc.availIdx {
+		sc.availShards = append(sc.availShards, shards[a])
 	}
-	out := make([][]byte, len(missing))
-	for i := range out {
-		out[i] = make([]byte, size)
+	for range missing {
+		sc.out = append(sc.out, alloc.GetShard(size))
 	}
-	coeff.MulVec(out, availShards)
+	coeff.MulVec(sc.out, sc.availShards)
 	for i, t := range missing {
-		shards[t] = out[i]
+		shards[t] = sc.out[i]
 	}
 	return nil
 }
@@ -349,3 +472,8 @@ func (b *Base) VerifySet(idx int, set []int) bool {
 	_, err := matrix.SpanSolve(b.gen.SelectRows(set), b.gen.SelectRows([]int{idx}))
 	return err == nil
 }
+
+var (
+	_ IntoEncoder       = (*Base)(nil)
+	_ IntoReconstructor = (*Base)(nil)
+)

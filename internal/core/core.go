@@ -35,6 +35,11 @@ var ErrUnrecoverable = errors.New("core: unrecoverable failure pattern")
 type Scheme struct {
 	code codes.Code
 	lay  layout.Layout
+	// Capability views of code, resolved once at construction so the hot
+	// paths pay no per-call type assertions.
+	intoEnc    codes.IntoEncoder       // nil if the code lacks EncodeInto
+	intoRec    codes.IntoReconstructor // nil if the code lacks the Into decodes
+	positional bool                    // byte-range chunking is valid
 }
 
 // NewScheme deploys code under the given layout form.
@@ -43,7 +48,13 @@ func NewScheme(code codes.Code, form layout.Form) (*Scheme, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scheme{code: code, lay: lay}, nil
+	s := &Scheme{code: code, lay: lay}
+	s.intoEnc, _ = code.(codes.IntoEncoder)
+	s.intoRec, _ = code.(codes.IntoReconstructor)
+	if p, ok := code.(codes.PositionalCoder); ok {
+		s.positional = p.PositionalKernel()
+	}
+	return s, nil
 }
 
 // MustScheme is NewScheme for known-good forms; it panics on error.
@@ -129,6 +140,80 @@ func (s *Scheme) EncodeStripe(data [][]byte) ([][]byte, error) {
 	return cells, nil
 }
 
+// EncodeStripeInto computes a full stripe into the caller-provided cells
+// slice — the zero-allocation encode path. cells must have CellsPerStripe()
+// slots; data shards are aliased into their cells, and each parity cell is
+// either reused (when the slot already holds a buffer of the right size) or
+// drawn from bufs. Together with a warm Buffers arena this performs no heap
+// allocations in steady state.
+func (s *Scheme) EncodeStripeInto(bufs *Buffers, cells [][]byte, data [][]byte) error {
+	dps := s.DataPerStripe()
+	if len(data) != dps {
+		return fmt.Errorf("%w: got %d data shards, want %d", ErrBadRequest, len(data), dps)
+	}
+	if len(cells) != s.CellsPerStripe() {
+		return fmt.Errorf("%w: got %d cells, want %d", ErrBadRequest, len(cells), s.CellsPerStripe())
+	}
+	if dps == 0 {
+		return nil
+	}
+	size := len(data[0])
+	for e, d := range data {
+		cells[s.cellIndex(s.lay.DataPos(e))] = d
+	}
+	k, n := s.code.K(), s.code.N()
+	sc := getStripeScratch(n, k)
+	defer putStripeScratch(sc)
+	for g := 0; g < s.lay.Groups(); g++ {
+		for t := 0; t < k; t++ {
+			sc.groupData[t] = cells[s.cellIndex(s.lay.GroupCell(g, t))]
+		}
+		for t := k; t < n; t++ {
+			idx := s.cellIndex(s.lay.GroupCell(g, t))
+			if len(cells[idx]) != size {
+				cells[idx] = bufs.GetShard(size)
+			}
+			sc.parity[t-k] = cells[idx]
+		}
+		if err := s.encodeGroup(sc.parity, sc.groupData); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeGroup encodes one group's parity into the given cells, using the
+// code's allocation-free EncodeInto when available.
+func (s *Scheme) encodeGroup(parity, groupData [][]byte) error {
+	if s.intoEnc != nil {
+		return s.intoEnc.EncodeInto(parity, groupData)
+	}
+	fresh, err := s.code.Encode(groupData)
+	if err != nil {
+		return err
+	}
+	for i := range parity {
+		copy(parity[i], fresh[i])
+	}
+	return nil
+}
+
+// encodeGroupRange encodes byte range [lo,hi) of one group's cells. Only
+// valid for positional codes (see codes.PositionalCoder); the ParallelCodec
+// guards that. cells is the full stripe.
+func (s *Scheme) encodeGroupRange(cells [][]byte, g, lo, hi int) error {
+	k, n := s.code.K(), s.code.N()
+	sc := getStripeScratch(n, k)
+	defer putStripeScratch(sc)
+	for t := 0; t < k; t++ {
+		sc.groupData[t] = cells[s.cellIndex(s.lay.GroupCell(g, t))][lo:hi]
+	}
+	for t := k; t < n; t++ {
+		sc.parity[t-k] = cells[s.cellIndex(s.lay.GroupCell(g, t))][lo:hi]
+	}
+	return s.encodeGroup(sc.parity, sc.groupData)
+}
+
 // ReconstructStripe rebuilds every nil cell of a stripe in place, group by
 // group (the paper's §IV-D three-step reconstruction). It fails with
 // ErrUnrecoverable if any group's erasure pattern is undecodable.
@@ -160,6 +245,82 @@ func (s *Scheme) ReconstructStripe(cells [][]byte) error {
 		}
 	}
 	return nil
+}
+
+// ReconstructStripeInto is ReconstructStripe drawing decode buffers from
+// bufs and pooling its scratch — the zero-allocation repair path.
+func (s *Scheme) ReconstructStripeInto(bufs *Buffers, cells [][]byte) error {
+	if len(cells) != s.CellsPerStripe() {
+		return fmt.Errorf("%w: got %d cells, want %d", ErrBadRequest, len(cells), s.CellsPerStripe())
+	}
+	n := s.code.N()
+	sc := getStripeScratch(n, s.code.K())
+	defer putStripeScratch(sc)
+	group := sc.group
+	for g := 0; g < s.lay.Groups(); g++ {
+		missing := false
+		for t := 0; t < n; t++ {
+			group[t] = cells[s.cellIndex(s.lay.GroupCell(g, t))]
+			if group[t] == nil {
+				missing = true
+			}
+		}
+		if !missing {
+			continue
+		}
+		if err := s.reconstructGroup(bufs, group); err != nil {
+			return fmt.Errorf("%w: group %d: %v", ErrUnrecoverable, g, err)
+		}
+		for t := 0; t < n; t++ {
+			idx := s.cellIndex(s.lay.GroupCell(g, t))
+			if cells[idx] == nil {
+				cells[idx] = group[t]
+			}
+		}
+	}
+	return nil
+}
+
+// reconstructGroup decodes one group in place, using the code's
+// allocation-free ReconstructInto when available.
+func (s *Scheme) reconstructGroup(bufs *Buffers, group [][]byte) error {
+	if s.intoRec != nil {
+		return s.intoRec.ReconstructInto(group, bufs)
+	}
+	return s.code.Reconstruct(group)
+}
+
+// RebuildDataInto is RebuildData drawing the decode buffer from bufs and
+// pooling its scratch — the zero-allocation degraded-read decode.
+func (s *Scheme) RebuildDataInto(bufs *Buffers, cells [][]byte, e int) ([]byte, error) {
+	if len(cells) != s.CellsPerStripe() {
+		return nil, fmt.Errorf("%w: got %d cells, want %d", ErrBadRequest, len(cells), s.CellsPerStripe())
+	}
+	pos := s.lay.DataPos(e)
+	idx := s.cellIndex(pos)
+	if cells[idx] != nil {
+		return cells[idx], nil
+	}
+	c := s.lay.CellAt(pos)
+	n := s.code.N()
+	sc := getStripeScratch(n, s.code.K())
+	defer putStripeScratch(sc)
+	group := sc.group
+	for t := 0; t < n; t++ {
+		group[t] = cells[s.cellIndex(s.lay.GroupCell(c.Group, t))]
+	}
+	sc.target[0] = c.Element
+	var err error
+	if s.intoRec != nil {
+		err = s.intoRec.ReconstructElementsInto(group, sc.target[:], bufs)
+	} else {
+		err = s.code.ReconstructElements(group, sc.target[:])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: element %d: %v", ErrUnrecoverable, e, err)
+	}
+	cells[idx] = group[c.Element]
+	return cells[idx], nil
 }
 
 // RebuildData rebuilds the in-stripe data element e from whatever cells of

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/crs"
 	"repro/internal/layout"
 	"repro/internal/lrc"
 	"repro/internal/rs"
@@ -160,5 +162,139 @@ func BenchmarkParallelEncode(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestForEachEarlyAbort pins the abort contract deterministically: one
+// worker, an error on the very first index, and a counter — fn must run
+// exactly once even though many indices are queued.
+func TestForEachEarlyAbort(t *testing.T) {
+	s := MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	pc := s.NewParallelCodec(1)
+	calls := 0
+	err := pc.forEach(100, func(i int) error {
+		calls++
+		return fmt.Errorf("boom at %d", i)
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("calls = %d, err = %v; want 1 call and an error", calls, err)
+	}
+}
+
+// TestForEachAbortStopsDispatch checks the multi-worker case: after the
+// first error, the vast majority of the batch must be skipped (exact counts
+// are scheduling-dependent, but bounded by workers' in-flight items).
+func TestForEachAbortStopsDispatch(t *testing.T) {
+	s := MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	const workers, n = 4, 10000
+	pc := s.NewParallelCodec(workers)
+	var calls atomic.Int64
+	err := pc.forEach(n, func(i int) error {
+		calls.Add(1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Every worker may already hold one item when the abort lands, plus the
+	// producer's send in flight; anything near n means abort didn't work.
+	if got := calls.Load(); got > int64(workers)*2 {
+		t.Fatalf("fn ran %d times after first error; want ≤ %d", got, workers*2)
+	}
+}
+
+// TestEncodeStripeChunkedMatchesSerial checks intra-stripe chunking yields
+// bit-identical stripes for positional codes (many chunks) and for CRS
+// (groups-only fallback), including sizes that don't divide evenly.
+func TestEncodeStripeChunkedMatchesSerial(t *testing.T) {
+	schemes := []*Scheme{
+		MustScheme(rs.Must(6, 3), layout.FormECFRM),
+		MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM),
+		MustScheme(crs.Must(4, 2), layout.FormStandard),
+	}
+	for _, s := range schemes {
+		for _, size := range []int{4096, 4096 + 64, 96} {
+			pc := s.NewParallelCodec(4)
+			pc.SetChunkBytes(1000) // rounds up to 1008, forces ragged chunks
+			var bufs Buffers
+			data := makeStripeData(s, size, int64(size))
+			want, err := s.EncodeStripe(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells := make([][]byte, s.CellsPerStripe())
+			if err := pc.EncodeStripeChunked(&bufs, cells, data); err != nil {
+				t.Fatal(err)
+			}
+			for i := range cells {
+				if !bytes.Equal(cells[i], want[i]) {
+					t.Fatalf("%s size %d: cell %d differs from serial encode", s.Name(), size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeStripesIntoMatchesSerial checks the pooled batch encode and the
+// pooled batch repair against the serial paths.
+func TestEncodeStripesIntoMatchesSerial(t *testing.T) {
+	s := MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM)
+	pc := s.NewParallelCodec(4)
+	var bufs Buffers
+	batch := makeBatch(t, s, 11, 64, 99)
+	cells := make([][][]byte, len(batch))
+	for i := range cells {
+		cells[i] = make([][]byte, s.CellsPerStripe())
+	}
+	if err := pc.EncodeStripesInto(&bufs, cells, batch); err != nil {
+		t.Fatal(err)
+	}
+	n := s.N()
+	orig := make([][][]byte, len(cells))
+	for i, data := range batch {
+		want, err := s.EncodeStripe(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if !bytes.Equal(cells[i][c], want[c]) {
+				t.Fatalf("stripe %d cell %d differs from serial encode", i, c)
+			}
+		}
+		orig[i] = want
+	}
+	for i := range cells {
+		for c := range cells[i] {
+			if c%n == 2 || c%n == 6 {
+				cells[i][c] = nil
+			}
+		}
+	}
+	if err := pc.ReconstructStripesInto(&bufs, cells); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		for c := range cells[i] {
+			if !bytes.Equal(cells[i][c], orig[i][c]) {
+				t.Fatalf("stripe %d cell %d mismatch after pooled repair", i, c)
+			}
+		}
+	}
+}
+
+// TestSetChunkBytes pins the rounding and reset semantics.
+func TestSetChunkBytes(t *testing.T) {
+	s := MustScheme(rs.Must(6, 3), layout.FormStandard)
+	pc := s.NewParallelCodec(2)
+	if pc.ChunkBytes() != DefaultChunkBytes {
+		t.Fatalf("default chunk = %d", pc.ChunkBytes())
+	}
+	pc.SetChunkBytes(1000)
+	if pc.ChunkBytes() != 1008 {
+		t.Fatalf("chunk = %d, want 1008 (1000 rounded up to ×16)", pc.ChunkBytes())
+	}
+	pc.SetChunkBytes(0)
+	if pc.ChunkBytes() != DefaultChunkBytes {
+		t.Fatalf("reset chunk = %d", pc.ChunkBytes())
 	}
 }

@@ -12,6 +12,7 @@ package crs
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitmatrix"
 	"repro/internal/codes"
@@ -30,8 +31,22 @@ type Code struct {
 	// bitGen is the (n·W)×(k·W) binary generator; rows of element i are
 	// bit-rows [i·W, (i+1)·W).
 	bitGen *bitmatrix.Matrix
+	// paritySub is bitGen's parity block restricted to the data columns —
+	// the matrix every encode applies — precomputed so Encode never
+	// re-extracts it.
+	paritySub *bitmatrix.Matrix
 	// sched is the precomputed XOR schedule for EncodeScheduled.
 	sched *Schedule
+	// pkPool recycles the (k+m)·W packet-pointer tables the encode paths
+	// need, so steady-state encodes allocate only the parity shards — or
+	// nothing at all on the EncodeInto path.
+	pkPool sync.Pool
+	// invMu guards invCache, which memoizes the inverted survivor
+	// sub-generator per survivor selection: a storage system repairs the
+	// same failure pattern for every stripe, and the k·W×k·W GF(2)
+	// inversion dwarfs the XOR work for small shards.
+	invMu    sync.RWMutex
+	invCache map[[4]uint64]*bitmatrix.Matrix
 }
 
 // New constructs CRS(k,m).
@@ -43,10 +58,19 @@ func New(k, m int) (*Code, error) {
 		return nil, fmt.Errorf("crs: k+m = %d exceeds field size 256", k+m)
 	}
 	gen := matrix.Identity(k).Stack(matrix.Cauchy(m, k))
-	c := &Code{Base: codes.NewBase(gen), k: k, m: m}
+	c := &Code{
+		Base:     codes.NewBase(gen),
+		k:        k,
+		m:        m,
+		invCache: make(map[[4]uint64]*bitmatrix.Matrix),
+	}
 	c.bitGen = expand(gen)
-	c.sched = buildSchedule(
-		selectCols(c.bitGen.SelectRows(rowRange(k*W, (k+m)*W)), 0, k*W), k, m)
+	c.paritySub = selectCols(c.bitGen.SelectRows(rowRange(k*W, (k+m)*W)), 0, k*W)
+	c.sched = buildSchedule(c.paritySub, k, m)
+	c.pkPool.New = func() any {
+		s := make([][]byte, (k+m)*W)
+		return &s
+	}
 	return c, nil
 }
 
@@ -61,6 +85,12 @@ func Must(k, m int) *Code {
 
 // Name returns "CRS(k,m)".
 func (c *Code) Name() string { return fmt.Sprintf("CRS(%d,%d)", c.k, c.m) }
+
+// PositionalKernel reports false, overriding the embedded Base: CRS shards
+// use the packet layout (W bit-plane sub-blocks per shard), so a parity byte
+// mixes data bytes from different offsets and byte-range chunking of shards
+// would corrupt the code.
+func (c *Code) PositionalKernel() bool { return false }
 
 // M returns the number of parity elements per row.
 func (c *Code) M() int { return c.m }
@@ -110,51 +140,98 @@ func expand(m *matrix.Matrix) *bitmatrix.Matrix {
 // packets splits a shard into W equal packets (packet p holds bit-plane p's
 // bytes: Jerasure's layout is simply W contiguous sub-blocks).
 func packets(shard []byte) [][]byte {
-	plen := len(shard) / W
 	out := make([][]byte, W)
-	for p := 0; p < W; p++ {
-		out[p] = shard[p*plen : (p+1)*plen]
-	}
+	packetsInto(out, shard)
 	return out
 }
 
-// Encode computes parity shards using only XOR operations on packets. Shard
-// sizes must be multiples of W bytes.
-func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+// packetsInto writes the W packet views of shard into dst without
+// allocating. dst must have length W.
+func packetsInto(dst [][]byte, shard []byte) {
+	plen := len(shard) / W
+	for p := 0; p < W; p++ {
+		dst[p] = shard[p*plen : (p+1)*plen]
+	}
+}
+
+// checkData validates data shard count, consistency, and the packet-size
+// constraint, returning the common shard size.
+func (c *Code) checkData(data [][]byte) (int, error) {
 	if len(data) != c.k {
-		return nil, fmt.Errorf("%w: got %d data shards, want %d", codes.ErrShardSize, len(data), c.k)
+		return 0, fmt.Errorf("%w: got %d data shards, want %d", codes.ErrShardSize, len(data), c.k)
 	}
 	size := -1
 	for i, d := range data {
 		if d == nil {
-			return nil, fmt.Errorf("%w: data shard %d is nil", codes.ErrShardSize, i)
+			return 0, fmt.Errorf("%w: data shard %d is nil", codes.ErrShardSize, i)
 		}
 		if size == -1 {
 			size = len(d)
 		}
 		if len(d) != size {
-			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(d), size)
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(d), size)
 		}
 	}
 	if size%W != 0 {
-		return nil, fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
+		return 0, fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
 	}
-	in := make([][]byte, 0, c.k*W)
-	for _, d := range data {
-		in = append(in, packets(d)...)
+	return size, nil
+}
+
+// Encode computes parity shards using only XOR operations on packets. Shard
+// sizes must be multiples of W bytes.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	size, err := c.checkData(data)
+	if err != nil {
+		return nil, err
 	}
 	parity := make([][]byte, c.m)
-	out := make([][]byte, 0, c.m*W)
 	for i := range parity {
 		parity[i] = make([]byte, size)
-		out = append(out, packets(parity[i])...)
 	}
-	// Parity bit-rows are rows [k·W, n·W) of the binary generator; their
-	// data-column block is all we need since the left block is identity.
-	parityBits := c.bitGen.SelectRows(rowRange(c.k*W, (c.k+c.m)*W))
-	sub := selectCols(parityBits, 0, c.k*W)
-	sub.MulVec(out, in)
+	c.encodePacked(parity, data)
 	return parity, nil
+}
+
+// EncodeInto computes parity into caller-provided cells — the
+// zero-allocation encode path. parity must hold m buffers of the data shard
+// size; contents are overwritten.
+func (c *Code) EncodeInto(parity, data [][]byte) error {
+	size, err := c.checkData(data)
+	if err != nil {
+		return err
+	}
+	if len(parity) != c.m {
+		return fmt.Errorf("%w: got %d parity cells, want %d", codes.ErrShardSize, len(parity), c.m)
+	}
+	for i, p := range parity {
+		if len(p) != size {
+			return fmt.Errorf("%w: parity cell %d has %d bytes, want %d", codes.ErrShardSize, i, len(p), size)
+		}
+	}
+	c.encodePacked(parity, data)
+	return nil
+}
+
+// encodePacked runs the XOR encode through a pooled packet-pointer table.
+// Inputs are pre-validated.
+func (c *Code) encodePacked(parity, data [][]byte) {
+	tp := c.pkPool.Get().(*[][]byte)
+	table := *tp
+	for i, d := range data {
+		packetsInto(table[i*W:(i+1)*W], d)
+	}
+	out := table[c.k*W : (c.k+c.m)*W]
+	for i, p := range parity {
+		packetsInto(out[i*W:(i+1)*W], p)
+	}
+	// Parity bit-rows over the data columns are all we need since the left
+	// block of the generator is identity.
+	c.paritySub.MulVec(out, table[:c.k*W])
+	for i := range table {
+		table[i] = nil // don't pin shard memory inside the pool
+	}
+	c.pkPool.Put(tp)
 }
 
 // Reconstruct rebuilds every nil shard. CRS shards use the packet layout
@@ -163,6 +240,20 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 // decoder with the XOR path.
 func (c *Code) Reconstruct(shards [][]byte) error {
 	return c.ReconstructXOR(shards)
+}
+
+// ReconstructInto overrides the promoted Base method: the embedded
+// field-arithmetic decode would silently corrupt packet-layout shards, so
+// the XOR path must win no matter which interface the caller reached us
+// through. The allocator is unused — the XOR decode manages its own buffers.
+func (c *Code) ReconstructInto(shards [][]byte, _ codes.Allocator) error {
+	return c.ReconstructXOR(shards)
+}
+
+// ReconstructElementsInto overrides the promoted Base method for the same
+// reason as ReconstructInto.
+func (c *Code) ReconstructElementsInto(shards [][]byte, targets []int, _ codes.Allocator) error {
+	return c.ReconstructElements(shards, targets)
 }
 
 // ReconstructElements rebuilds the targets (and, as a side effect of the
@@ -212,12 +303,7 @@ func (c *Code) ReconstructXOR(shards [][]byte) error {
 		return fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
 	}
 	use := avail[:c.k]
-	var bitRows []int
-	for _, e := range use {
-		bitRows = append(bitRows, rowRange(e*W, (e+1)*W)...)
-	}
-	sub := c.bitGen.SelectRows(bitRows)
-	inv, err := sub.Invert()
+	inv, err := c.survivorInverse(use)
 	if err != nil {
 		return fmt.Errorf("%w: survivor sub-generator singular", codes.ErrUnrecoverable)
 	}
@@ -268,12 +354,38 @@ func (c *Code) ApplyDelta(parity [][]byte, elem int, delta []byte) error {
 	for t := 0; t < c.m; t++ {
 		block := selectCols(c.bitGen.SelectRows(rowRange((c.k+t)*W, (c.k+t+1)*W)), elem*W, (elem+1)*W)
 		block.MulVec(packets(buf), deltaPk) // MulVec zeroes buf's packets first
-		p := parity[t]
-		for i := range p {
-			p[i] ^= buf[i]
-		}
+		gf.AddSlice(parity[t], buf)
 	}
 	return nil
+}
+
+// survivorInverse returns the inverted k·W×k·W sub-generator for the given
+// survivor elements, memoized per selection: repairing a failure pattern
+// touches every stripe with the same survivors, so the GF(2) inversion is
+// paid once.
+func (c *Code) survivorInverse(use []int) (*bitmatrix.Matrix, error) {
+	var key [4]uint64
+	for _, e := range use {
+		key[e/64] |= 1 << (uint(e) % 64)
+	}
+	c.invMu.RLock()
+	inv, ok := c.invCache[key]
+	c.invMu.RUnlock()
+	if ok {
+		return inv, nil
+	}
+	bitRows := make([]int, 0, c.k*W)
+	for _, e := range use {
+		bitRows = append(bitRows, rowRange(e*W, (e+1)*W)...)
+	}
+	inv, err := c.bitGen.SelectRows(bitRows).Invert()
+	if err != nil {
+		return nil, err
+	}
+	c.invMu.Lock()
+	c.invCache[key] = inv
+	c.invMu.Unlock()
+	return inv, nil
 }
 
 // rowRange returns [lo, hi).
@@ -328,4 +440,7 @@ func (c *Code) RecoverySets(idx int) [][]int {
 	return sets
 }
 
-var _ codes.Code = (*Code)(nil)
+var (
+	_ codes.Code        = (*Code)(nil)
+	_ codes.IntoEncoder = (*Code)(nil)
+)

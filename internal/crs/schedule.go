@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitmatrix"
 	"repro/internal/codes"
+	"repro/internal/gf"
 )
 
 // Op is one step of an XOR schedule. If Copy is true the destination packet
@@ -151,18 +152,13 @@ func (c *Code) EncodeScheduled(data [][]byte) ([][]byte, error) {
 		dst := table[op.Dst]
 		if op.Copy {
 			if op.Src == op.Dst {
-				for b := range dst {
-					dst[b] = 0
-				}
+				clear(dst)
 				continue
 			}
 			copy(dst, table[op.Src])
 			continue
 		}
-		src := table[op.Src]
-		for b := range dst {
-			dst[b] ^= src[b]
-		}
+		gf.AddSlice(dst, table[op.Src])
 	}
 	return parity, nil
 }

@@ -4,13 +4,11 @@
 // implementation relied on: full field arithmetic (add, multiply, divide,
 // invert, exponentiate) built on log/exp tables over the primitive polynomial
 // x^8 + x^4 + x^3 + x^2 + 1 (0x11d), plus the bulk slice kernels erasure
-// coding actually spends its time in.
+// coding actually spends its time in (see kernels.go).
 //
 // All operations are allocation-free and safe for concurrent use: the tables
 // are computed once at package init and never mutated afterwards.
 package gf
-
-import "fmt"
 
 // Poly is the primitive polynomial used to generate the field,
 // x^8 + x^4 + x^3 + x^2 + 1. The same polynomial is used by Jerasure's
@@ -133,72 +131,4 @@ func PolyEval(coeffs []byte, x byte) byte {
 		acc = Mul(acc, x) ^ coeffs[i]
 	}
 	return acc
-}
-
-// AddSlice sets dst[i] ^= src[i] for all i. dst and src must have equal
-// length; it panics otherwise.
-func AddSlice(dst, src []byte) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("gf: AddSlice length mismatch %d != %d", len(dst), len(src)))
-	}
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
-}
-
-// MulSlice sets dst[i] = c * src[i]. dst and src must have equal length.
-// c == 0 zeroes dst; c == 1 copies.
-func MulSlice(c byte, dst, src []byte) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("gf: MulSlice length mismatch %d != %d", len(dst), len(src)))
-	}
-	switch c {
-	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
-	case 1:
-		copy(dst, src)
-	default:
-		row := &mulTable[c]
-		for i, s := range src {
-			dst[i] = row[s]
-		}
-	}
-}
-
-// MulAddSlice sets dst[i] ^= c * src[i]. dst and src must have equal length.
-// This is the inner kernel of matrix-vector encoding.
-func MulAddSlice(c byte, dst, src []byte) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("gf: MulAddSlice length mismatch %d != %d", len(dst), len(src)))
-	}
-	switch c {
-	case 0:
-		// no-op
-	case 1:
-		for i := range dst {
-			dst[i] ^= src[i]
-		}
-	default:
-		row := &mulTable[c]
-		for i, s := range src {
-			dst[i] ^= row[s]
-		}
-	}
-}
-
-// DotSlice computes the dot product sum_i coeffs[i]*vecs[i] into dst,
-// overwriting dst. All vecs and dst must share one length. len(coeffs) must
-// equal len(vecs).
-func DotSlice(dst []byte, coeffs []byte, vecs [][]byte) {
-	if len(coeffs) != len(vecs) {
-		panic(fmt.Sprintf("gf: DotSlice arity mismatch %d != %d", len(coeffs), len(vecs)))
-	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	for j, c := range coeffs {
-		MulAddSlice(c, dst, vecs[j])
-	}
 }

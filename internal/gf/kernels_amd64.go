@@ -1,0 +1,71 @@
+//go:build amd64
+
+package gf
+
+// SIMD kernel selection for amd64. The assembly in kernels_amd64.s
+// implements the nibble-split-table multiply with PSHUFB: mask out the low
+// and high nibbles of 16 (SSSE3) or 32 (AVX2) source bytes, shuffle each
+// through its 16-entry product table, and XOR the halves — a whole register
+// of GF(2^8) products in a handful of instructions.
+
+// Implemented in kernels_amd64.s.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+func gfMulSSSE3(lo, hi *[16]byte, dst, src *byte, n int)
+func gfMulAddSSSE3(lo, hi *[16]byte, dst, src *byte, n int)
+func gfMulAVX2(lo, hi *[16]byte, dst, src *byte, n int)
+func gfMulAddAVX2(lo, hi *[16]byte, dst, src *byte, n int)
+
+var (
+	hasSSSE3    bool
+	hasAVX2     bool
+	simdEnabled bool
+)
+
+func init() {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	hasSSSE3 = ecx1&(1<<9) != 0
+	// AVX2 needs the CPU flag plus OS support for YMM state (OSXSAVE set and
+	// XCR0 reporting XMM|YMM enabled).
+	const osxsaveAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAVX == osxsaveAVX && maxID >= 7 {
+		if xlo, _ := xgetbv0(); xlo&6 == 6 {
+			_, ebx7, _, _ := cpuidex(7, 0)
+			hasAVX2 = ebx7&(1<<5) != 0
+		}
+	}
+	simdEnabled = hasSSSE3 || hasAVX2
+}
+
+// mulSliceSIMD computes dst = c·src with the vector kernel; c must be ≥ 2 and
+// len(dst) ≥ simdMin (callers dispatch). The vector body covers the largest
+// 32- or 16-byte-aligned prefix; the reference kernel finishes the tail.
+func mulSliceSIMD(c byte, dst, src []byte) {
+	var n int
+	if hasAVX2 {
+		n = len(dst) &^ 31
+		gfMulAVX2(&mulLo[c], &mulHi[c], &dst[0], &src[0], n)
+	} else {
+		n = len(dst) &^ 15
+		gfMulSSSE3(&mulLo[c], &mulHi[c], &dst[0], &src[0], n)
+	}
+	MulSliceRef(c, dst[n:], src[n:])
+}
+
+// mulAddSliceSIMD computes dst ^= c·src with the vector kernel; same
+// contract as mulSliceSIMD.
+func mulAddSliceSIMD(c byte, dst, src []byte) {
+	var n int
+	if hasAVX2 {
+		n = len(dst) &^ 31
+		gfMulAddAVX2(&mulLo[c], &mulHi[c], &dst[0], &src[0], n)
+	} else {
+		n = len(dst) &^ 15
+		gfMulAddSSSE3(&mulLo[c], &mulHi[c], &dst[0], &src[0], n)
+	}
+	MulAddSliceRef(c, dst[n:], src[n:])
+}

@@ -1,0 +1,153 @@
+// GF(2^8) bulk multiply kernels for amd64: nibble-split product tables
+// applied with the vector byte shuffle. For each 16/32-byte block of src:
+//
+//	products = SHUFFLE(loTable, src & 0x0f) XOR SHUFFLE(hiTable, src >> 4)
+//
+// PSHUFB/VPSHUFB treats the table register as a 16-entry byte LUT indexed by
+// the low nibble of each selector byte, so the two masked shuffles look up
+// c·lo(b) and c·hi(b)<<4 for every lane at once; XORing the halves gives
+// c·b lane-wise. Callers guarantee n > 0 and n a multiple of the block size.
+
+#include "textflag.h"
+
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gfMulSSSE3(lo, hi *[16]byte, dst, src *byte, n int)
+// dst[i] = product of src[i]; n % 16 == 0, n > 0.
+TEXT ·gfMulSSSE3(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X4
+	MOVOU (BX), X5
+	MOVOU nibMask<>(SB), X6
+
+mulLoop:
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PSRLW $4, X1
+	PAND  X6, X0
+	PAND  X6, X1
+	MOVOU X4, X2
+	MOVOU X5, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU X2, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNE   mulLoop
+	RET
+
+// func gfMulAddSSSE3(lo, hi *[16]byte, dst, src *byte, n int)
+// dst[i] ^= product of src[i]; n % 16 == 0, n > 0.
+TEXT ·gfMulAddSSSE3(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X4
+	MOVOU (BX), X5
+	MOVOU nibMask<>(SB), X6
+
+mulAddLoop:
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PSRLW $4, X1
+	PAND  X6, X0
+	PAND  X6, X1
+	MOVOU X4, X2
+	MOVOU X5, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU (DI), X7
+	PXOR  X7, X2
+	MOVOU X2, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNE   mulAddLoop
+	RET
+
+// func gfMulAVX2(lo, hi *[16]byte, dst, src *byte, n int)
+// dst[i] = product of src[i]; n % 32 == 0, n > 0.
+TEXT ·gfMulAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VBROADCASTI128 nibMask<>(SB), Y6
+
+mulLoopAVX2:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y2, Y3, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     mulLoopAVX2
+	VZEROUPPER
+	RET
+
+// func gfMulAddAVX2(lo, hi *[16]byte, dst, src *byte, n int)
+// dst[i] ^= product of src[i]; n % 32 == 0, n > 0.
+TEXT ·gfMulAddAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VBROADCASTI128 nibMask<>(SB), Y6
+
+mulAddLoopAVX2:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y2, Y3, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     mulAddLoopAVX2
+	VZEROUPPER
+	RET

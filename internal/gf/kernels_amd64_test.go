@@ -1,0 +1,60 @@
+//go:build amd64
+
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestAsmKernelsMatchRef drives the SSSE3 and AVX2 assembly bodies directly
+// (bypassing dispatch) so both ISA variants stay verified on machines where
+// the faster one would otherwise shadow the other. Every coefficient is
+// swept at block-aligned lengths, per the asm contract.
+func TestAsmKernelsMatchRef(t *testing.T) {
+	if !simdEnabled {
+		t.Skip("no SIMD support on this CPU")
+	}
+	rng := rand.New(rand.NewSource(8))
+	type variant struct {
+		name   string
+		ok     bool
+		block  int
+		mul    func(lo, hi *[16]byte, dst, src *byte, n int)
+		mulAdd func(lo, hi *[16]byte, dst, src *byte, n int)
+	}
+	variants := []variant{
+		{"ssse3", hasSSSE3, 16, gfMulSSSE3, gfMulAddSSSE3},
+		{"avx2", hasAVX2, 32, gfMulAVX2, gfMulAddAVX2},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			if !v.ok {
+				t.Skipf("%s not supported on this CPU", v.name)
+			}
+			for _, blocks := range []int{1, 2, 3, 8} {
+				n := blocks * v.block
+				src := make([]byte, n)
+				rng.Read(src)
+				for c := 0; c < 256; c++ {
+					dst := make([]byte, n)
+					rng.Read(dst)
+					want := append([]byte(nil), dst...)
+
+					v.mul(&mulLo[c], &mulHi[c], &dst[0], &src[0], n)
+					MulSliceRef(byte(c), want, src)
+					if !bytes.Equal(dst, want) {
+						t.Fatalf("mul c=%d n=%d: mismatch", c, n)
+					}
+
+					v.mulAdd(&mulLo[c], &mulHi[c], &dst[0], &src[0], n)
+					MulAddSliceRef(byte(c), want, src)
+					if !bytes.Equal(dst, want) {
+						t.Fatalf("mulAdd c=%d n=%d: mismatch", c, n)
+					}
+				}
+			}
+		})
+	}
+}

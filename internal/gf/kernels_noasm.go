@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package gf
+
+// Non-amd64 builds have no vector kernels; simdEnabled is a compile-time
+// false so the dispatchers in kernels.go fold the SIMD branches away and the
+// stubs below are unreachable.
+const simdEnabled = false
+
+func mulSliceSIMD(c byte, dst, src []byte)    { mulSliceWord(c, dst, src) }
+func mulAddSliceSIMD(c byte, dst, src []byte) { mulAddSliceWord(c, dst, src) }

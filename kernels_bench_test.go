@@ -1,0 +1,122 @@
+package ecfrm
+
+// Benchmarks for the fast GF(2^8) kernels (SIMD nibble-table shuffle where
+// the CPU supports it, word-parallel tables otherwise) against the byte-wise
+// reference — the acceptance gate for the bulk-arithmetic rewrite. The
+// encode kernel is the k-source dot product behind parity generation; the
+// reconstruct kernel is the same multiply-accumulate applied with decode
+// coefficients. MB/s here is bytes *processed* (sources × shard size) per
+// second, matching how storage systems quote codec throughput.
+//
+// Run with: go test -bench 'Encode|Reconstruct' -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+)
+
+// kernelShardSizes spans the cache regimes: L1-resident, L2, and streaming.
+var kernelShardSizes = []int{4 << 10, 64 << 10, 1 << 20}
+
+func randShards(rng *rand.Rand, k, size int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func randCoeffs(rng *rand.Rand, k int) []byte {
+	out := make([]byte, k)
+	for i := range out {
+		out[i] = byte(2 + rng.Intn(254)) // skip the 0/1 fast paths
+	}
+	return out
+}
+
+// benchDot measures one parity element's multiply-accumulate over k sources.
+func benchDot(b *testing.B, k, size int, dot func(dst, coeffs []byte, vecs [][]byte)) {
+	rng := rand.New(rand.NewSource(int64(k*size) | 1))
+	vecs := randShards(rng, k, size)
+	coeffs := randCoeffs(rng, k)
+	dst := make([]byte, size)
+	b.SetBytes(int64(k * size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dot(dst, coeffs, vecs)
+	}
+}
+
+// BenchmarkEncodeKernel is the GF multiply-accumulate behind parity encode:
+// the fast DotSlice path vs the byte-wise reference, k=6 sources.
+func BenchmarkEncodeKernel(b *testing.B) {
+	const k = 6
+	for _, size := range kernelShardSizes {
+		b.Run(fmt.Sprintf("fast/%dKiB", size>>10), func(b *testing.B) {
+			benchDot(b, k, size, gf.DotSlice)
+		})
+		b.Run(fmt.Sprintf("ref/%dKiB", size>>10), func(b *testing.B) {
+			benchDot(b, k, size, gf.DotSliceRef)
+		})
+	}
+}
+
+// BenchmarkReconstructKernel is the decode-side multiply-accumulate: k
+// survivors combined with decode coefficients into one lost shard.
+func BenchmarkReconstructKernel(b *testing.B) {
+	const k = 6
+	size := 64 << 10
+	b.Run("fast/64KiB", func(b *testing.B) { benchDot(b, k, size, gf.DotSlice) })
+	b.Run("ref/64KiB", func(b *testing.B) { benchDot(b, k, size, gf.DotSliceRef) })
+}
+
+// BenchmarkEncodeMulAdd isolates the single-source multiply-accumulate.
+func BenchmarkEncodeMulAdd(b *testing.B) {
+	size := 64 << 10
+	rng := rand.New(rand.NewSource(11))
+	src := make([]byte, size)
+	rng.Read(src)
+	dst := make([]byte, size)
+	b.Run("fast/64KiB", func(b *testing.B) {
+		b.SetBytes(int64(size))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gf.MulAddSlice(0x53, dst, src)
+		}
+	})
+	b.Run("ref/64KiB", func(b *testing.B) {
+		b.SetBytes(int64(size))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gf.MulAddSliceRef(0x53, dst, src)
+		}
+	})
+}
+
+// BenchmarkEncodeXOR isolates the add path (parity of XOR-based codes).
+func BenchmarkEncodeXOR(b *testing.B) {
+	size := 64 << 10
+	rng := rand.New(rand.NewSource(12))
+	src := make([]byte, size)
+	rng.Read(src)
+	dst := make([]byte, size)
+	b.Run("fast/64KiB", func(b *testing.B) {
+		b.SetBytes(int64(size))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gf.AddSlice(dst, src)
+		}
+	})
+	b.Run("ref/64KiB", func(b *testing.B) {
+		b.SetBytes(int64(size))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gf.AddSliceRef(dst, src)
+		}
+	})
+}
