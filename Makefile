@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race bench-smoke bench kernels-json fuzz-smoke
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fuzz-smoke
 
 all: build
 
@@ -20,6 +20,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The concurrency-heavy packages under the race detector: the sharded object
+# server, the store's reader/mutator paths, and the streaming pipeline.
+race-io:
+	$(GO) test -race ./internal/httpd/... ./internal/store/... ./internal/shardio/...
+
 # A fast benchmark pass (one short iteration per benchmark) that catches
 # panics/regressions in the bench harnesses without waiting for full timings.
 bench-smoke:
@@ -33,8 +38,18 @@ bench:
 kernels-json:
 	$(GO) run ./cmd/ecfrmbench -kernels BENCH_kernels.json
 
+# A small streaming-vs-buffered read-path run that catches pipeline
+# regressions without the full payload; the JSON goes to a throwaway path.
+readpath-smoke:
+	$(GO) run ./cmd/ecfrmbench -readpath /tmp/ecfrm-readpath-smoke.json -readpath-bytes 16777216
+
+# The committed read-path numbers (BENCH_readpath.json): 1 GiB payload so the
+# buffered baseline pays its real O(file) allocation cost.
+readpath-json:
+	$(GO) run ./cmd/ecfrmbench -readpath BENCH_readpath.json -readpath-bytes 1073741824
+
 # A short fuzz run over the GF kernel equivalence target.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
 
-ci: vet race bench-smoke
+ci: vet race race-io bench-smoke readpath-smoke

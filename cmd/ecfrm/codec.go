@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -69,12 +70,27 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
+// parallelFlag registers the shared worker-count flag; 0 means one worker
+// per CPU.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, "pipeline workers (0 = one per CPU)")
+}
+
+func workersOf(parallel int) int {
+	if parallel > 0 {
+		return parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func cmdEncode(args []string) error {
 	fs := flagSet("encode")
 	sf := newSchemeFlags(fs)
 	in := fs.String("in", "", "input file")
 	out := fs.String("out", "", "output shard directory")
 	elem := fs.Int("elem", 64<<10, "element size in bytes")
+	parallel := parallelFlag(fs)
+	buffered := fs.Bool("buffered", false, "buffer the whole payload in memory instead of streaming")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,18 +101,32 @@ func cmdEncode(args []string) error {
 	if err != nil {
 		return err
 	}
-	payload, err := os.ReadFile(*in)
-	if err != nil {
-		return err
-	}
-	man, err := shardio.Encode(scheme, payload, *out, *elem, shardio.Manifest{
+	base := shardio.Manifest{
 		Code: strings.ToLower(*sf.code), K: *sf.k, L: *sf.l, M: *sf.m, Form: *sf.form,
-	})
-	if err != nil {
-		return err
+	}
+	var man shardio.Manifest
+	if *buffered {
+		payload, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		man, err = shardio.Encode(scheme, payload, *out, *elem, base)
+		if err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		man, err = shardio.EncodeStream(scheme, f, *out, *elem, base, workersOf(*parallel))
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("encoded %d bytes as %s into %d stripes across %d disk files in %s\n",
-		len(payload), scheme.Name(), man.Stripes, scheme.N(), *out)
+		man.Length, scheme.Name(), man.Stripes, scheme.N(), *out)
 	return nil
 }
 
@@ -104,6 +134,8 @@ func cmdDecode(args []string) error {
 	fs := flagSet("decode")
 	in := fs.String("in", "", "input shard directory")
 	out := fs.String("out", "", "output file")
+	parallel := parallelFlag(fs)
+	buffered := fs.Bool("buffered", false, "buffer the whole payload in memory instead of streaming")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,16 +146,33 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	payload, missing, err := shardio.Decode(scheme, *in)
-	if err != nil {
-		return err
+	var missing int
+	if *buffered {
+		payload, bufMissing, err := shardio.Decode(scheme, *in)
+		if err != nil {
+			return err
+		}
+		missing = bufMissing
+		if err := os.WriteFile(*out, payload, 0o644); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		missing, err = shardio.DecodeStream(scheme, *in, f, workersOf(*parallel))
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if missing > 0 {
 		fmt.Printf("decoded through %d missing disk file(s) (tolerance: %d)\n",
 			missing, scheme.FaultTolerance())
-	}
-	if err := os.WriteFile(*out, payload, 0o644); err != nil {
-		return err
 	}
 	fmt.Printf("decoded %d bytes from %s (%s) into %s\n", man.Length, *in, scheme.Name(), *out)
 	return nil
@@ -132,6 +181,7 @@ func cmdDecode(args []string) error {
 func cmdVerify(args []string) error {
 	fs := flagSet("verify")
 	in := fs.String("in", "", "shard directory")
+	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,7 +192,7 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := shardio.Verify(scheme, *in); err != nil {
+	if err := shardio.VerifyStream(scheme, *in, workersOf(*parallel)); err != nil {
 		return err
 	}
 	fmt.Printf("all %d stripes verify clean (%s)\n", man.Stripes, scheme.Name())

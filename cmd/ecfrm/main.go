@@ -48,11 +48,15 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ecfrm <encode|decode|verify|info|plan> [flags]
-  encode -in FILE -out DIR  [-code rs|lrc -k K -l L -m M -form F -elem N]
-  decode -in DIR  -out FILE
-  verify -in DIR            # parity-check every stripe of a shard directory
+  encode -in FILE -out DIR  [-code rs|lrc -k K -l L -m M -form F -elem N -parallel W -buffered]
+  decode -in DIR  -out FILE [-parallel W -buffered]
+  verify -in DIR            [-parallel W]  # parity-check every stripe
   info   -code rs|lrc -k K [-l L] -m M -form F
-  plan   -code rs|lrc -k K [-l L] -m M -form F -start S -count C [-failed D,D,...]`)
+  plan   -code rs|lrc -k K [-l L] -m M -form F -start S -count C [-failed D,D,...]
+
+encode/decode stream stripe-at-a-time through a W-worker pipeline, so memory
+stays O(W × stripe) however large the file; -buffered selects the legacy
+whole-payload path.`)
 }
 
 // schemeFlags registers the shared scheme-selection flags on fs.

@@ -39,6 +39,9 @@ func main() {
 		network     = flag.Bool("network", false, "also print the client-bandwidth sensitivity sweep")
 		csvDir      = flag.String("csv", "", "also write each figure as <dir>/fig<ID>.csv for plotting")
 		kernels     = flag.String("kernels", "", "run the GF kernel microbenchmark and write JSON to this path (e.g. BENCH_kernels.json), then exit")
+		readpath    = flag.String("readpath", "", "run the streaming-vs-buffered shardio benchmark and write JSON to this path (e.g. BENCH_readpath.json), then exit")
+		readpathMB  = flag.Int64("readpath-bytes", 0, "readpath payload size in bytes (0 = 256 MiB)")
+		parallel    = flag.Int("parallel", 0, "measure figure (code, form) cells across this many workers; results are bit-identical to sequential")
 	)
 	flag.Parse()
 
@@ -49,12 +52,20 @@ func main() {
 		}
 		return
 	}
+	if *readpath != "" {
+		if err := runReadpathBench(*readpath, *readpathMB); err != nil {
+			fmt.Fprintln(os.Stderr, "readpath:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := experiment.Options{
 		ElementBytes:   *elem,
 		Seed:           *seed,
 		NormalTrials:   *trialsN,
 		DegradedTrials: *trialsD,
+		Parallel:       *parallel,
 	}
 	if *quick {
 		if opt.NormalTrials == 0 {

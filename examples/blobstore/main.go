@@ -85,7 +85,7 @@ func main() {
 			// Per-device balance from the store's real counters.
 			minR, maxR := -1, 0
 			for d := 0; d < scheme.N(); d++ {
-				r := st.Device(d).Reads
+				r := st.Device(d).Reads()
 				if minR < 0 || r < minR {
 					minR = r
 				}

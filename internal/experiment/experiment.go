@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/codes"
 	"repro/internal/core"
@@ -111,6 +113,12 @@ type Options struct {
 	TotalElements int
 	// MaxReadSize caps request sizes (paper: 20).
 	MaxReadSize int
+	// Parallel is the number of (spec, form) cells measured concurrently
+	// (≤1 = sequential). Results are bit-identical either way: trial lists
+	// are generated sequentially per spec before the fan-out, every cell
+	// seeds its own disk-array jitter stream, and each cell writes to a
+	// preassigned slot of the result.
+	Parallel int
 }
 
 // Defaults fills unset fields with the paper's protocol values.
@@ -243,17 +251,31 @@ type FigureResult struct {
 	Cells map[layout.Form][]Measurement
 }
 
-// Run regenerates one figure.
+// cellJob is one (spec, form) measurement with its preassigned result slot.
+type cellJob struct {
+	spec   CodeSpec
+	si     int
+	form   layout.Form
+	trials []workload.ReadTrial
+}
+
+// Run regenerates one figure. With opt.Parallel > 1 the figure's (spec,
+// form) cells are measured across a worker pool; the output is bit-identical
+// to a sequential run (see Options.Parallel).
 func Run(fig Figure, opt Options) (*FigureResult, error) {
 	opt = opt.Defaults()
 	res := &FigureResult{Figure: fig, Cells: make(map[layout.Form][]Measurement)}
-	for _, spec := range fig.Specs {
+	for _, form := range Forms {
+		res.Cells[form] = make([]Measurement, len(fig.Specs))
+	}
+	// Trial generation stays sequential: one seeded list per spec, shared
+	// by all three forms (§VI: identical workloads; only the layout varies).
+	var jobs []cellJob
+	for si, spec := range fig.Specs {
 		code, err := spec.Build()
 		if err != nil {
 			return nil, err
 		}
-		// One trial list per spec, shared by all three forms (§VI:
-		// identical workloads; only the layout varies).
 		gen, err := workload.NewGenerator(workload.Config{
 			TotalElements: opt.TotalElements,
 			Disks:         code.N(),
@@ -270,12 +292,54 @@ func Run(fig Figure, opt Options) (*FigureResult, error) {
 			trials = gen.DegradedSeries(opt.DegradedTrials)
 		}
 		for _, form := range Forms {
-			m, err := runOne(spec, form, trials, opt)
+			jobs = append(jobs, cellJob{spec: spec, si: si, form: form, trials: trials})
+		}
+	}
+
+	workers := opt.Parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			m, err := runOne(j.spec, j.form, j.trials, opt)
 			if err != nil {
 				return nil, err
 			}
-			res.Cells[form] = append(res.Cells[form], m)
+			res.Cells[j.form][j.si] = m
 		}
+		return res, nil
+	}
+
+	ch := make(chan cellJob)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	var abort atomic.Bool
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if abort.Load() {
+					continue
+				}
+				m, err := runOne(j.spec, j.form, j.trials, opt)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; abort.Store(true) })
+					continue
+				}
+				res.Cells[j.form][j.si] = m
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return res, nil
 }

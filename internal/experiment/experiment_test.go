@@ -452,3 +452,33 @@ func TestBandwidthSweep(t *testing.T) {
 		t.Fatal("render missing columns")
 	}
 }
+
+// TestParallelRunBitIdentical pins the determinism contract: a parallel
+// sweep must render byte-identical CSV to the sequential one.
+func TestParallelRunBitIdentical(t *testing.T) {
+	opt := Options{NormalTrials: 60, DegradedTrials: 60, TotalElements: 240}
+	for _, fig := range []string{"8a", "9b"} {
+		f, err := FigureByID(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Run(f, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Run(f, func() Options { o := opt; o.Parallel = 4; return o }())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := seq.WriteCSV(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("figure %s: parallel CSV differs from sequential:\n%s\n---\n%s", fig, a.String(), b.String())
+		}
+	}
+}

@@ -14,8 +14,14 @@
 //	GET  /admin/checksums        re-check every cell's CRC32C
 //	POST /admin/corrupt?...      inject silent bit rot into one cell
 //
-// All handlers are safe for concurrent use; the store is guarded by one
-// RWMutex (reads share, writes and admin actions exclude).
+// All handlers are safe for concurrent use. Locking is sharded so
+// independent GETs plan and decode in parallel: the server holds only a
+// small lock around the object-name map, each object carries its own mutex
+// (which doubles as single-flight for cache fills), and the store
+// synchronizes device access internally with shared-read locking and atomic
+// I/O counters. Hot objects are served from an epoch-tagged decoded-payload
+// cache that failure injection, recovery, corruption, and healing all
+// invalidate by bumping the store epoch.
 package httpd
 
 import (
@@ -27,10 +33,18 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/store"
+)
+
+// Cache sizing: only objects at most maxCachedObjectBytes are cached, and
+// the total cached payload across all objects stays under cacheBudgetBytes.
+const (
+	maxCachedObjectBytes = 4 << 20
+	cacheBudgetBytes     = 64 << 20
 )
 
 // objectMeta locates one object inside the append-only store.
@@ -39,18 +53,41 @@ type objectMeta struct {
 	Size int   `json:"size"`
 }
 
+// cachedRead is one decoded GET result, valid while the store epoch holds.
+type cachedRead struct {
+	epoch   int64
+	data    []byte
+	cost    float64
+	maxLoad int
+}
+
+// object is one stored object: immutable metadata plus a small cache of its
+// last decoded read. The mutex single-flights cache fills, so a burst of
+// GETs for one hot object decodes it once; GETs for different objects never
+// contend on it.
+type object struct {
+	meta  objectMeta
+	mu    sync.Mutex
+	cache *cachedRead
+}
+
 // Server is the HTTP object service.
 type Server struct {
+	store *store.Store
+	mux   *http.ServeMux
+
+	// mu guards only the objects map; per-object state has its own lock.
 	mu      sync.RWMutex
-	store   *store.Store
-	objects map[string]objectMeta
-	mux     *http.ServeMux
+	objects map[string]*object
+
+	// cacheBytes tracks the total decoded payload bytes currently cached.
+	cacheBytes atomic.Int64
 }
 
 // NewServer wraps a store (callers construct it with the scheme and element
 // size they want).
 func NewServer(st *store.Store) *Server {
-	s := &Server{store: st, objects: make(map[string]objectMeta)}
+	s := &Server{store: st, objects: make(map[string]*object)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/objects/", s.handleObject)
 	mux.HandleFunc("/admin/status", s.handleStatus)
@@ -92,6 +129,8 @@ func (s *Server) putObject(w http.ResponseWriter, r *http.Request, name string) 
 		http.Error(w, "empty object", http.StatusBadRequest)
 		return
 	}
+	// The map lock also serializes Len+Append+Flush, so concurrent PUTs
+	// claim disjoint extents. GETs only touch this lock for the map lookup.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.objects[name]; exists {
@@ -99,7 +138,9 @@ func (s *Server) putObject(w http.ResponseWriter, r *http.Request, name string) 
 		http.Error(w, "object exists (store is append-only)", http.StatusConflict)
 		return
 	}
-	off := s.store.Len()
+	// NextOffset, not Len: flush padding from earlier objects occupies
+	// address space, and reads resolve offsets arithmetically.
+	off := s.store.NextOffset()
 	if err := s.store.Append(body); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -109,29 +150,66 @@ func (s *Server) putObject(w http.ResponseWriter, r *http.Request, name string) 
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.objects[name] = objectMeta{Off: off, Size: len(body)}
+	s.objects[name] = &object{meta: objectMeta{Off: off, Size: len(body)}}
 	w.WriteHeader(http.StatusCreated)
 	fmt.Fprintf(w, "stored %d bytes at offset %d\n", len(body), off)
 }
 
-func (s *Server) getObject(w http.ResponseWriter, _ *http.Request, name string) {
+// lookup fetches an object's handle under the shared map lock.
+func (s *Server) lookup(name string) (*object, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	meta, ok := s.objects[name]
+	obj, ok := s.objects[name]
+	return obj, ok
+}
+
+func (s *Server) getObject(w http.ResponseWriter, _ *http.Request, name string) {
+	obj, ok := s.lookup(name)
 	if !ok {
 		http.Error(w, "no such object", http.StatusNotFound)
 		return
 	}
-	res, err := s.store.ReadAt(meta.Off, meta.Size)
+	data, cost, maxLoad, err := s.readObject(obj)
 	if err != nil {
 		// Unrecoverable degradation is a server-side availability failure.
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Read-Cost", fmt.Sprintf("%.3f", res.Plan.Cost()))
-	w.Header().Set("X-Max-Disk-Load", strconv.Itoa(res.Plan.MaxLoad()))
-	w.Write(res.Data)
+	w.Header().Set("X-Read-Cost", fmt.Sprintf("%.3f", cost))
+	w.Header().Set("X-Max-Disk-Load", strconv.Itoa(maxLoad))
+	w.Write(data)
+}
+
+// readObject returns the object's decoded payload, serving from the
+// epoch-tagged cache when valid and filling it otherwise. The per-object
+// mutex is held only for the decode, never while writing the response, and
+// cached payloads are immutable once published.
+func (s *Server) readObject(obj *object) ([]byte, float64, int, error) {
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	epoch := s.store.Epoch()
+	if c := obj.cache; c != nil {
+		if c.epoch == epoch {
+			return c.data, c.cost, c.maxLoad, nil
+		}
+		// Stale: drop it and release its budget before re-reading.
+		s.cacheBytes.Add(-int64(len(c.data)))
+		obj.cache = nil
+	}
+	res, err := s.store.ReadAt(obj.meta.Off, obj.meta.Size)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cost, maxLoad := res.Plan.Cost(), res.Plan.MaxLoad()
+	// Cache small objects while the budget lasts. A healing read bumps the
+	// epoch itself, so re-check: only results still current are cacheable.
+	if obj.meta.Size <= maxCachedObjectBytes && s.store.Epoch() == epoch && res.Healed == 0 &&
+		s.cacheBytes.Load()+int64(len(res.Data)) <= cacheBudgetBytes {
+		obj.cache = &cachedRead{epoch: epoch, data: res.Data, cost: cost, maxLoad: maxLoad}
+		s.cacheBytes.Add(int64(len(res.Data)))
+	}
+	return res.Data, cost, maxLoad, nil
 }
 
 // Status is the admin status document.
@@ -146,6 +224,7 @@ type Status struct {
 	FailedDisks    []int   `json:"failed_disks"`
 	DeviceReads    []int   `json:"device_reads"`
 	DeviceWrites   []int   `json:"device_writes"`
+	CachedBytes    int64   `json:"cached_bytes"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -154,7 +233,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	objects := len(s.objects)
+	s.mu.RUnlock()
 	sch := s.store.Scheme()
 	st := Status{
 		Scheme:         sch.Name(),
@@ -163,12 +243,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Overhead:       sch.StorageOverhead(),
 		Stripes:        s.store.Stripes(),
 		Bytes:          s.store.Len(),
-		Objects:        len(s.objects),
+		Objects:        objects,
 		FailedDisks:    s.store.FailedDisks(),
+		CachedBytes:    s.cacheBytes.Load(),
 	}
 	for d := 0; d < sch.N(); d++ {
-		st.DeviceReads = append(st.DeviceReads, s.store.Device(d).Reads)
-		st.DeviceWrites = append(st.DeviceWrites, s.store.Device(d).Writes)
+		st.DeviceReads = append(st.DeviceReads, s.store.Device(d).Reads())
+		st.DeviceWrites = append(st.DeviceWrites, s.store.Device(d).Writes())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
@@ -188,18 +269,17 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	d, ok := s.diskParam(w, r)
 	if !ok {
 		return
 	}
-	if len(s.store.FailedDisks()) >= s.store.Scheme().FaultTolerance() {
+	// The tolerance check and the mark are one atomic store operation, so
+	// concurrent fail requests cannot race past the fault tolerance.
+	if !s.store.FailDiskWithinTolerance(d) {
 		http.Error(w, fmt.Sprintf("refusing: %d failures already at tolerance", len(s.store.FailedDisks())),
 			http.StatusConflict)
 		return
 	}
-	s.store.FailDisk(d)
 	fmt.Fprintf(w, "disk %d failed\n", d)
 }
 
@@ -208,8 +288,6 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	d, ok := s.diskParam(w, r)
 	if !ok {
 		return
@@ -232,8 +310,6 @@ func (s *Server) handleChecksums(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	bad := s.store.VerifyChecksums()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"corrupt_cells": bad, "count": len(bad)})
@@ -246,8 +322,6 @@ func (s *Server) handleCorrupt(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	q := r.URL.Query()
 	stripe, err1 := strconv.Atoi(q.Get("stripe"))
 	row, err2 := strconv.Atoi(q.Get("row"))
@@ -274,8 +348,6 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	bad, err := s.store.Scrub()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)

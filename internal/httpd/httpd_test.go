@@ -280,3 +280,127 @@ func TestCorruptionInjectionAndHealing(t *testing.T) {
 		t.Error("GET corrupt must be 405")
 	}
 }
+
+// TestConcurrentChaos hammers the server with overlapping PUTs, GETs,
+// failure injection, and recovery from many goroutines. Run under -race it
+// checks the sharded locking: any interleaving must keep every successful
+// GET byte-identical to its PUT, and the failed-disk set within tolerance.
+func TestConcurrentChaos(t *testing.T) {
+	ts, srv := newTestServer(t)
+	rng := rand.New(rand.NewSource(11))
+
+	// Seed a set of objects whose contents every reader can verify.
+	const objects = 8
+	payloads := make([][]byte, objects)
+	for i := range payloads {
+		payloads[i] = make([]byte, 1+rng.Intn(4096))
+		rng.Read(payloads[i])
+		resp, body := doReq(t, http.MethodPut, fmt.Sprintf("%s/objects/chaos%d", ts.URL, i), payloads[i])
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("seed put %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	tol := srv.store.Scheme().FaultTolerance()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Readers: every 200 must return the exact payload.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				oi := rng.Intn(objects)
+				req, _ := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/objects/chaos%d", ts.URL, oi), nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					report("get: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if !bytes.Equal(body, payloads[oi]) {
+						report("chaos%d: got %d bytes, want %d", oi, len(body), len(payloads[oi]))
+						return
+					}
+				case http.StatusServiceUnavailable:
+					// Transiently unrecoverable while disks cycle: allowed.
+				default:
+					report("get chaos%d: status %d", oi, resp.StatusCode)
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+
+	// Writers: fresh names so they never conflict with the verified set.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + id)))
+			for i := 0; i < 10; i++ {
+				data := make([]byte, 1+rng.Intn(2048))
+				rng.Read(data)
+				resp, body := doReq(t, http.MethodPut, fmt.Sprintf("%s/objects/w%d-%d", ts.URL, id, i), data)
+				if resp.StatusCode != http.StatusCreated {
+					report("writer put: %d %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Chaos agents: fail and recover random disks. Any status the server
+	// chooses is fine (409 at tolerance, 400/503 racing recover) — the
+	// invariant is that failures never exceed tolerance.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := srv.store.Scheme().N()
+			for i := 0; i < 20; i++ {
+				d := rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					doReq(t, http.MethodPost, fmt.Sprintf("%s/admin/fail?disk=%d", ts.URL, d), nil)
+				} else {
+					doReq(t, http.MethodPost, fmt.Sprintf("%s/admin/recover?disk=%d", ts.URL, d), nil)
+				}
+				if failed := len(srv.store.FailedDisks()); failed > tol {
+					report("%d disks failed, tolerance %d", failed, tol)
+					return
+				}
+			}
+		}(int64(300 + g))
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Settle: recover everything and verify all objects come back clean.
+	for _, d := range srv.store.FailedDisks() {
+		if resp, body := doReq(t, http.MethodPost, fmt.Sprintf("%s/admin/recover?disk=%d", ts.URL, d), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("settle recover %d: %d %s", d, resp.StatusCode, body)
+		}
+	}
+	for i, want := range payloads {
+		resp, body := doReq(t, http.MethodGet, fmt.Sprintf("%s/objects/chaos%d", ts.URL, i), nil)
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, want) {
+			t.Fatalf("post-chaos read chaos%d: status %d", i, resp.StatusCode)
+		}
+	}
+}

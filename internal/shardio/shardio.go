@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/core"
 )
@@ -81,23 +82,33 @@ func Encode(scheme *core.Scheme, payload []byte, dir string, elemSize int, man M
 	if stripes == 0 {
 		stripes = 1
 	}
+	// Each disk image is preallocated to its exact final size, and one cells
+	// slice carries across stripes so EncodeStripeInto reuses the parity
+	// buffers it placed there (full-size data elements alias the payload,
+	// which is safe: appends below copy them out before the next stripe).
 	disks := make([][]byte, n)
+	perDisk := stripes * lay.Rows() * elemSize
+	for d := range disks {
+		disks[d] = make([]byte, 0, perDisk)
+	}
+	var bufs core.Buffers
+	cells := make([][]byte, scheme.CellsPerStripe())
+	data := make([][]byte, scheme.DataPerStripe())
 	for st := 0; st < stripes; st++ {
-		data := make([][]byte, scheme.DataPerStripe())
 		for e := range data {
-			shard := make([]byte, elemSize)
 			off := st*stripeBytes + e*elemSize
-			if off < len(payload) {
-				end := off + elemSize
-				if end > len(payload) {
-					end = len(payload)
+			if end := off + elemSize; end <= len(payload) {
+				data[e] = payload[off:end]
+			} else {
+				// Zero-padded tail element (at most one stripe's worth).
+				shard := make([]byte, elemSize)
+				if off < len(payload) {
+					copy(shard, payload[off:])
 				}
-				copy(shard, payload[off:end])
+				data[e] = shard
 			}
-			data[e] = shard
 		}
-		cells, err := scheme.EncodeStripe(data)
-		if err != nil {
+		if err := scheme.EncodeStripeInto(&bufs, cells, data); err != nil {
 			return man, err
 		}
 		for row := 0; row < lay.Rows(); row++ {
@@ -116,11 +127,7 @@ func Encode(scheme *core.Scheme, payload []byte, dir string, elemSize int, man M
 	man.ElemSize = elemSize
 	man.Stripes = stripes
 	man.Length = int64(len(payload))
-	mb, err := json.MarshalIndent(man, "", "  ")
-	if err != nil {
-		return man, err
-	}
-	return man, os.WriteFile(filepath.Join(dir, manifestFile), mb, 0o644)
+	return man, writeManifest(dir, man)
 }
 
 // loadDisks reads the present disk files, returning nil entries for missing
@@ -183,7 +190,9 @@ func Decode(scheme *core.Scheme, dir string) ([]byte, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	payload := make([]byte, 0, man.Length)
+	// Capacity covers the padded final stripe too, so the append loop never
+	// reallocates (man.Length alone falls short by the padding).
+	payload := make([]byte, 0, man.Stripes*scheme.DataPerStripe()*man.ElemSize)
 	for st := 0; st < man.Stripes; st++ {
 		cells := stripeCells(scheme, disks, man, st)
 		if missing > 0 {
@@ -203,31 +212,8 @@ func Decode(scheme *core.Scheme, dir string) ([]byte, int, error) {
 
 // Verify parity-checks every stripe of a complete shard directory and
 // returns the corrupt stripe indices inside ErrCorrupt (nil error if clean).
-// All disk files must be present.
+// All disk files must be present. It streams the directory through
+// VerifyStream with one worker per CPU.
 func Verify(scheme *core.Scheme, dir string) error {
-	man, err := ReadManifest(dir)
-	if err != nil {
-		return err
-	}
-	disks, missing, err := loadDisks(scheme, dir, man)
-	if err != nil {
-		return err
-	}
-	if missing > 0 {
-		return fmt.Errorf("shardio: verify needs every disk file (%d missing)", missing)
-	}
-	var bad []int
-	for st := 0; st < man.Stripes; st++ {
-		ok, err := scheme.VerifyStripe(stripeCells(scheme, disks, man, st))
-		if err != nil {
-			return err
-		}
-		if !ok {
-			bad = append(bad, st)
-		}
-	}
-	if len(bad) > 0 {
-		return fmt.Errorf("%w: stripes %v", ErrCorrupt, bad)
-	}
-	return nil
+	return VerifyStream(scheme, dir, runtime.GOMAXPROCS(0))
 }

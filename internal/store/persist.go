@@ -40,10 +40,12 @@ func deviceFile(dir string, d int) string {
 // Buffered partial stripes must be flushed and no device may be failed —
 // recover first, so the saved image is always complete and consistent.
 func (s *Store) Save(dir string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.pending) > 0 {
 		return fmt.Errorf("store: flush the %d pending bytes before saving", len(s.pending))
 	}
-	if failed := s.FailedDisks(); len(failed) > 0 {
+	if failed := s.failedDisksLocked(); len(failed) > 0 {
 		return fmt.Errorf("%w: %v (recover before saving)", ErrFailed, failed)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -132,7 +134,7 @@ func Load(scheme *core.Scheme, dir string) (*Store, error) {
 				st.devices[d].crcs[k] = crc
 			}
 		}
-		st.devices[d].Writes = 0
+		st.devices[d].writes.Store(0)
 	}
 	st.stripes = man.Stripes
 	st.length = man.Length
@@ -142,6 +144,8 @@ func Load(scheme *core.Scheme, dir string) (*Store, error) {
 // VerifyChecksums re-checks every stored cell against its recorded CRC32C
 // without counting I/O, returning the locations that fail.
 func (s *Store) VerifyChecksums() []core.Access {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var bad []core.Access
 	for d, dev := range s.devices {
 		for k, cell := range dev.cells {

@@ -7,12 +7,19 @@
 // the core planner: normal reads touch only data cells, degraded reads fetch
 // recovery sets and decode. Every device access is counted, so experiments
 // can cross-check planned loads against observed I/O.
+//
+// The store is safe for concurrent use: reads share a read lock so
+// independent clients plan and decode in parallel, while writes, failure
+// injection, recovery, and healing exclude. Device I/O counters are atomic,
+// so concurrent readers account their accesses without contending.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/layout"
@@ -30,6 +37,10 @@ var ErrFailed = errors.New("store: device failed")
 // automatically when the group has enough redundancy.
 var ErrCorrupt = errors.New("store: corrupt cell")
 
+// errNeedsHeal is the internal signal that a shared-lock read hit a corrupt
+// cell and must retry exclusively so it may rewrite the healed bytes.
+var errNeedsHeal = errors.New("store: read needs exclusive heal")
+
 // Device is one simulated disk: a cell container with I/O accounting and
 // per-cell CRC32C checksums that detect silent corruption on read.
 type Device struct {
@@ -37,9 +48,11 @@ type Device struct {
 	cells  map[cellKey][]byte
 	crcs   map[cellKey]uint32
 	failed bool
-	// Reads and Writes count element-granularity accesses.
-	Reads  int
-	Writes int
+	// reads and writes count element-granularity accesses. They are atomic
+	// because reads are served under the store's shared lock, so many
+	// goroutines increment them concurrently.
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 type cellKey struct {
@@ -66,10 +79,16 @@ func (d *Device) Failed() bool { return d.failed }
 // Elements returns the number of elements currently stored on the device.
 func (d *Device) Elements() int { return len(d.cells) }
 
+// Reads returns the element-granularity read count.
+func (d *Device) Reads() int { return int(d.reads.Load()) }
+
+// Writes returns the element-granularity write count.
+func (d *Device) Writes() int { return int(d.writes.Load()) }
+
 func (d *Device) write(k cellKey, data []byte) {
 	d.cells[k] = data
 	d.crcs[k] = crc32.Checksum(data, castagnoli)
-	d.Writes++
+	d.writes.Add(1)
 }
 
 func (d *Device) read(k cellKey) ([]byte, error) {
@@ -80,7 +99,7 @@ func (d *Device) read(k cellKey) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("store: device %d has no element %v", d.id, k)
 	}
-	d.Reads++
+	d.reads.Add(1)
 	if crc32.Checksum(data, castagnoli) != d.crcs[k] {
 		return nil, fmt.Errorf("%w: device %d stripe %d cell (%d,%d)",
 			ErrCorrupt, d.id, k.stripe, k.pos.Row, k.pos.Col)
@@ -92,10 +111,20 @@ func (d *Device) read(k cellKey) ([]byte, error) {
 type Store struct {
 	scheme   *core.Scheme
 	elemSize int
-	devices  []*Device
-	stripes  int    // full stripes sealed so far
-	pending  []byte // buffered bytes not yet forming a full stripe
-	length   int64  // total bytes appended
+
+	// mu guards devices' cell maps, failure flags, and the append state.
+	// Reads hold it shared; writes, failure injection, recovery, and healing
+	// hold it exclusively.
+	mu      sync.RWMutex
+	devices []*Device
+	stripes int    // full stripes sealed so far
+	pending []byte // buffered bytes not yet forming a full stripe
+	length  int64  // total bytes appended
+
+	// epoch increments on every mutation that can change the bytes a read
+	// returns or the plan it follows (failure, recovery, corruption, heal,
+	// overwrite). Callers caching decoded reads key them by this value.
+	epoch atomic.Int64
 }
 
 // New creates a store using the given scheme with elemSize-byte elements.
@@ -126,20 +155,48 @@ func (s *Store) Scheme() *core.Scheme { return s.scheme }
 func (s *Store) ElementSize() int { return s.elemSize }
 
 // Len returns the total number of bytes appended so far.
-func (s *Store) Len() int64 { return s.length }
+func (s *Store) Len() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.length
+}
+
+// NextOffset returns the logical offset the next appended byte will occupy.
+// It differs from Len whenever Flush has padded a partial stripe: the
+// padding occupies address space (reads map offsets to stripe positions
+// arithmetically) without being user data.
+func (s *Store) NextOffset() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(s.stripes)*int64(s.stripeBytes()) + int64(len(s.pending))
+}
 
 // Stripes returns the number of sealed (fully encoded) stripes.
-func (s *Store) Stripes() int { return s.stripes }
+func (s *Store) Stripes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stripes
+}
+
+// Epoch returns the current mutation epoch. Two reads of the same range
+// observing the same epoch are guaranteed byte-identical, so decoded results
+// may be cached until the epoch moves.
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
 
 // Device returns device d for inspection.
 func (s *Store) Device(d int) *Device {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.devices[d]
 }
 
 // ResetCounters zeroes every device's I/O counters.
 func (s *Store) ResetCounters() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, d := range s.devices {
-		d.Reads, d.Writes = 0, 0
+		d.reads.Store(0)
+		d.writes.Store(0)
 	}
 }
 
@@ -150,6 +207,8 @@ func (s *Store) stripeBytes() int { return s.scheme.DataPerStripe() * s.elemSize
 // stripe that fills. Partial tails stay buffered until more data arrives or
 // Flush pads them out.
 func (s *Store) Append(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.pending = append(s.pending, data...)
 	s.length += int64(len(data))
 	for len(s.pending) >= s.stripeBytes() {
@@ -162,8 +221,12 @@ func (s *Store) Append(data []byte) error {
 }
 
 // Flush zero-pads and seals any buffered partial stripe. The store's Len is
-// unchanged: padding is not user data.
+// unchanged: padding is not user data. It does occupy address space, though,
+// so callers placing multiple objects must take NextOffset — not Len — as
+// the next object's position.
 func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.pending) == 0 {
 		return nil
 	}
@@ -174,6 +237,7 @@ func (s *Store) Flush() error {
 }
 
 // seal encodes one stripe's worth of bytes and writes all cells to devices.
+// Caller holds mu exclusively.
 func (s *Store) seal(buf []byte) error {
 	dps := s.scheme.DataPerStripe()
 	data := make([][]byte, dps)
@@ -203,11 +267,44 @@ func (s *Store) seal(buf []byte) error {
 // FailDisk marks device d failed. Its contents become unreadable until
 // RecoverDisk rebuilds them.
 func (s *Store) FailDisk(d int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.devices[d].failed = true
+	s.epoch.Add(1)
+}
+
+// FailDiskWithinTolerance marks device d failed only if the total failure
+// count stays within the scheme's fault tolerance, and reports whether it
+// did. The check and the mark are one atomic step, so concurrent callers can
+// never push the array past tolerance.
+func (s *Store) FailDiskWithinTolerance(d int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	failed := 0
+	for _, dev := range s.devices {
+		if dev.failed {
+			failed++
+		}
+	}
+	if s.devices[d].failed {
+		return true
+	}
+	if failed >= s.scheme.FaultTolerance() {
+		return false
+	}
+	s.devices[d].failed = true
+	s.epoch.Add(1)
+	return true
 }
 
 // FailedDisks returns the currently failed device IDs, ascending.
 func (s *Store) FailedDisks() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.failedDisksLocked()
+}
+
+func (s *Store) failedDisksLocked() []int {
 	var out []int
 	for _, d := range s.devices {
 		if d.failed {
@@ -231,7 +328,28 @@ type ReadResult struct {
 // devices this is a normal read; with failures the planner fetches recovery
 // sets and the store decodes the lost elements. Bytes must lie within
 // sealed stripes (append full stripes or Flush first).
+//
+// Concurrent ReadAt calls share the store lock and proceed in parallel. The
+// one exception is a read that trips over silent corruption: healing
+// rewrites the cell, so the read retries under the exclusive lock.
 func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
+	s.mu.RLock()
+	res, err := s.readAt(off, length, false)
+	s.mu.RUnlock()
+	if !errors.Is(err, errNeedsHeal) {
+		return res, err
+	}
+	// Corruption found: retry exclusively so healCell may rewrite devices.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readAt(off, length, true)
+}
+
+// readAt executes one read under whichever lock the caller holds. With
+// heal=false a corrupt cell aborts with errNeedsHeal (the caller escalates
+// to the exclusive lock); with heal=true (exclusive lock held) corrupt cells
+// are rebuilt and rewritten in place.
+func (s *Store) readAt(off int64, length int, heal bool) (*ReadResult, error) {
 	if off < 0 || length < 0 {
 		return nil, fmt.Errorf("%w: off=%d length=%d", ErrRange, off, length)
 	}
@@ -246,7 +364,7 @@ func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
 	endElem := int((off + int64(length) - 1) / int64(s.elemSize))
 	count := endElem - startElem + 1
 
-	failed := s.FailedDisks()
+	failed := s.failedDisksLocked()
 	var plan *core.Plan
 	var err error
 	if len(failed) == 0 {
@@ -270,6 +388,9 @@ func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
 		}
 		data, err := s.devices[a.Disk].read(cellKey{a.Stripe, a.Pos})
 		if errors.Is(err, ErrCorrupt) {
+			if !heal {
+				return nil, errNeedsHeal
+			}
 			data, err = s.healCell(a.Stripe, a.Pos)
 			if err != nil {
 				return nil, err
@@ -303,7 +424,8 @@ func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
 
 // healCell rebuilds a corrupt (checksum-failing) cell from the surviving
 // cells of its code group, rewrites it to its device, and returns the clean
-// bytes. The corrupt cell and any failed disks count as erasures.
+// bytes. The corrupt cell and any failed disks count as erasures. Caller
+// holds mu exclusively.
 func (s *Store) healCell(stripe int, pos layout.Pos) ([]byte, error) {
 	lay := s.scheme.Layout()
 	target := lay.CellAt(pos)
@@ -328,6 +450,7 @@ func (s *Store) healCell(stripe int, pos layout.Pos) ([]byte, error) {
 	}
 	clean := group[target.Element]
 	s.devices[lay.Disk(stripe, pos.Col)].write(cellKey{stripe, pos}, clean)
+	s.epoch.Add(1)
 	return clean, nil
 }
 
@@ -339,6 +462,8 @@ func (s *Store) healCell(stripe int, pos layout.Pos) ([]byte, error) {
 // read-merge step the paper's append-only model never exercises). All disks
 // must be healthy.
 func (s *Store) WriteAt(off int64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if off < 0 || off%int64(s.elemSize) != 0 || len(data)%s.elemSize != 0 {
 		return fmt.Errorf("%w: write [%d,+%d) not element-aligned (element %d)",
 			ErrRange, off, len(data), s.elemSize)
@@ -347,7 +472,7 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 	if off+int64(len(data)) > sealed {
 		return fmt.Errorf("%w: write [%d,+%d) beyond sealed extent %d", ErrRange, off, len(data), sealed)
 	}
-	if failed := s.FailedDisks(); len(failed) > 0 {
+	if failed := s.failedDisksLocked(); len(failed) > 0 {
 		return fmt.Errorf("%w: cannot update with failed disks %v (recover first)", ErrFailed, failed)
 	}
 	lay := s.scheme.Layout()
@@ -390,6 +515,7 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 			s.devices[lay.Disk(stripe, p.Col)].write(cellKey{stripe, p}, cells[idx])
 		}
 	}
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -403,12 +529,14 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 // the lost cells of a stripe. If no minimal set survives (multiple failures
 // or corruption), the group falls back to reading every surviving element.
 func (s *Store) RecoverDisk(d int) (readCost int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	dev := s.devices[d]
 	if !dev.failed {
 		return 0, fmt.Errorf("store: device %d is not failed", d)
 	}
 	failedSet := make(map[int]bool)
-	for _, f := range s.FailedDisks() {
+	for _, f := range s.failedDisksLocked() {
 		failedSet[f] = true
 	}
 	lay := s.scheme.Layout()
@@ -479,12 +607,15 @@ func (s *Store) RecoverDisk(d int) (readCost int, err error) {
 		}
 	}
 	s.devices[d] = replacement
+	s.epoch.Add(1)
 	return readCost, nil
 }
 
 // Scrub verifies parity consistency of every sealed stripe, returning the
 // indices of corrupt stripes (nil if all clean). It reads every cell.
 func (s *Store) Scrub() ([]int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lay := s.scheme.Layout()
 	n := s.scheme.N()
 	var bad []int
@@ -522,6 +653,8 @@ func (s *Store) Scrub() ([]int, error) {
 // CorruptCell overwrites one stored cell with garbage — a test hook for
 // scrub and failure-injection scenarios.
 func (s *Store) CorruptCell(stripe int, pos layout.Pos) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	disk := s.scheme.Layout().Disk(stripe, pos.Col)
 	k := cellKey{stripe, pos}
 	dev := s.devices[disk]
@@ -532,5 +665,6 @@ func (s *Store) CorruptCell(stripe int, pos layout.Pos) error {
 	for i := range cell {
 		cell[i] ^= 0xa5
 	}
+	s.epoch.Add(1)
 	return nil
 }

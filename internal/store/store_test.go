@@ -3,7 +3,9 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -182,7 +184,7 @@ func TestPlannedLoadsMatchObservedIO(t *testing.T) {
 			t.Fatal(err)
 		}
 		for d := 0; d < s.Scheme().N(); d++ {
-			if got, want := s.Device(d).Reads, res.Plan.Loads[d]; got != want {
+			if got, want := s.Device(d).Reads(), res.Plan.Loads[d]; got != want {
 				t.Fatalf("trial %d disk %d: observed %d reads, planned %d", trial, d, got, want)
 			}
 		}
@@ -581,5 +583,123 @@ func TestStoreWithCRSScheme(t *testing.T) {
 	res, err = s.ReadAt(0, len(data))
 	if err != nil || !bytes.Equal(res.Data, data) {
 		t.Fatalf("CRS after WriteAt: err=%v match=%v", err, bytes.Equal(res.Data, data))
+	}
+}
+
+// TestConcurrentReadersWithMutation exercises the shared-read locking under
+// -race: many goroutines read (normal, degraded, and healing reads) while
+// others inject failures, recover, and corrupt cells. Every successful read
+// must return exactly the written bytes, whatever the interleaving.
+func TestConcurrentReadersWithMutation(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, 4*stripeBytes, 42)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60; i++ {
+				off := rng.Intn(len(data) - 1)
+				n := 1 + rng.Intn(len(data)-off)
+				res, err := s.ReadAt(int64(off), n)
+				if err != nil {
+					if errors.Is(err, core.ErrUnrecoverable) || errors.Is(err, ErrCorrupt) {
+						continue // transiently beyond tolerance mid-chaos
+					}
+					report(err)
+					return
+				}
+				if !bytes.Equal(res.Data, data[off:off+n]) {
+					report(fmt.Errorf("read [%d,+%d) returned wrong bytes", off, n))
+					return
+				}
+			}
+		}(int64(g))
+	}
+
+	// Mutators: cycle failures within tolerance, recover, corrupt cells
+	// (readers heal them via the exclusive-retry path).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1000 + seed))
+			for i := 0; i < 30; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					s.FailDiskWithinTolerance(rng.Intn(s.Scheme().N()))
+				case 1:
+					for _, d := range s.FailedDisks() {
+						s.RecoverDisk(d)
+					}
+				case 2:
+					lay := s.Scheme().Layout()
+					pos := layout.Pos{Row: rng.Intn(lay.Rows()), Col: rng.Intn(lay.N())}
+					s.CorruptCell(rng.Intn(s.Stripes()), pos)
+				}
+			}
+		}(int64(g))
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Settle and verify the store is fully intact.
+	for _, d := range s.FailedDisks() {
+		if _, err := s.RecoverDisk(d); err != nil {
+			t.Fatalf("settle recover %d: %v", d, err)
+		}
+	}
+	res, err := s.ReadAt(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("data corrupted after concurrent chaos")
+	}
+}
+
+// TestNextOffsetAccountsForPadding pins the multi-object placement contract:
+// after a Flush pads a partial stripe, NextOffset (not Len) is where the
+// next appended byte lands, and reading there returns the new bytes.
+func TestNextOffsetAccountsForPadding(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	first := fill(t, s, 100, 1) // padded to a full stripe by Flush
+	stripeBytes := int64(s.Scheme().DataPerStripe() * s.ElementSize())
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 (padding is not user data)", s.Len())
+	}
+	if got := s.NextOffset(); got != stripeBytes {
+		t.Fatalf("NextOffset = %d, want %d", got, stripeBytes)
+	}
+	off := s.NextOffset()
+	second := fill(t, s, 200, 2)
+	res, err := s.ReadAt(off, len(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, second) {
+		t.Fatal("second object unreadable at NextOffset")
+	}
+	res, err = s.ReadAt(0, len(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, first) {
+		t.Fatal("first object damaged by second append")
 	}
 }
