@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fuzz-smoke
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fuzz-smoke chaos
 
 all: build
 
@@ -52,4 +52,13 @@ readpath-json:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
 
-ci: vet race race-io bench-smoke readpath-smoke
+# The seeded chaos suite under the race detector: the two fixed seeds plus a
+# time-derived one (echoed here and in the test log — rerun any failure with
+# CHAOS_SEED=<seed>). -count=2 re-runs everything to shake out order effects.
+chaos:
+	@seed=$${CHAOS_SEED:-$$(date +%s)}; \
+	echo "chaos: extra seed $$seed (reproduce with CHAOS_SEED=$$seed make chaos)"; \
+	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
+		./internal/faultinject/ ./internal/shardio/
+
+ci: vet race race-io bench-smoke readpath-smoke chaos

@@ -10,6 +10,13 @@
 //	curl localhost:8080/objects/song.mp3 -o out.mp3        # degraded, still OK
 //	curl -X POST 'localhost:8080/admin/recover?disk=3'
 //	curl localhost:8080/admin/status
+//
+// A deterministic fault plan (see internal/faultinject) can be loaded at
+// startup with -faults plan.json, or installed/cleared at runtime:
+//
+//	curl -X PUT --data-binary @plan.json localhost:8080/faults
+//	curl localhost:8080/faults
+//	curl -X DELETE localhost:8080/faults
 package main
 
 import (
@@ -17,9 +24,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/httpd"
 	"repro/internal/layout"
 	"repro/internal/lrc"
@@ -29,13 +38,14 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		code = flag.String("code", "lrc", "candidate code: rs or lrc")
-		k    = flag.Int("k", 6, "data elements per row")
-		l    = flag.Int("l", 2, "local parities (lrc only)")
-		m    = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
-		form = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
-		elem = flag.Int("elem", 64<<10, "element size in bytes")
+		addr   = flag.String("addr", ":8080", "listen address")
+		code   = flag.String("code", "lrc", "candidate code: rs or lrc")
+		k      = flag.Int("k", 6, "data elements per row")
+		l      = flag.Int("l", 2, "local parities (lrc only)")
+		m      = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
+		form   = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
+		elem   = flag.Int("elem", 64<<10, "element size in bytes")
+		faults = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
 	)
 	flag.Parse()
 
@@ -63,6 +73,19 @@ func main() {
 	st, err := store.New(scheme, *elem)
 	if err != nil {
 		log.Fatal("ecfrmd: ", err)
+	}
+	if *faults != "" {
+		blob, err := os.ReadFile(*faults)
+		if err != nil {
+			log.Fatal("ecfrmd: ", err)
+		}
+		plan, err := faultinject.ParsePlan(blob)
+		if err != nil {
+			log.Fatal("ecfrmd: ", err)
+		}
+		st.SetFaultInjector(faultinject.New(plan))
+		log.Printf("fault plan %s installed: seed %d, %d device policies",
+			*faults, plan.Seed, len(plan.Policies))
 	}
 	log.Printf("serving %s (%d disks, tolerates %d failures, %.2fx overhead) on %s",
 		scheme.Name(), scheme.N(), scheme.FaultTolerance(), scheme.StorageOverhead(), *addr)

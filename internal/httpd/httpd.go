@@ -13,6 +13,15 @@
 //	POST /admin/scrub            verify parity of every stripe
 //	GET  /admin/checksums        re-check every cell's CRC32C
 //	POST /admin/corrupt?...      inject silent bit rot into one cell
+//	GET  /faults                 the installed fault plan (zero plan if none)
+//	PUT  /faults                 install a deterministic fault plan (JSON)
+//	DELETE /faults               clear the fault plan
+//
+// Reads that exhaust their retry budget against slow or erroring devices
+// surface as 503 with a Retry-After header: the condition is transient by
+// construction (a cleared plan or a healthier disk serves the next attempt),
+// unlike unrecoverable degradation which is also 503 but permanent until an
+// admin intervenes.
 //
 // All handlers are safe for concurrent use. Locking is sharded so
 // independent GETs plan and decode in parallel: the server holds only a
@@ -36,6 +45,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/layout"
 	"repro/internal/store"
 )
@@ -80,6 +90,11 @@ type Server struct {
 	mu      sync.RWMutex
 	objects map[string]*object
 
+	// faultMu guards the fault plan mirrored here for /faults GET round-trips
+	// (the compiled injector lives in the store).
+	faultMu   sync.Mutex
+	faultPlan faultinject.Plan
+
 	// cacheBytes tracks the total decoded payload bytes currently cached.
 	cacheBytes atomic.Int64
 }
@@ -88,6 +103,11 @@ type Server struct {
 // size they want).
 func NewServer(st *store.Store) *Server {
 	s := &Server{store: st, objects: make(map[string]*object)}
+	// A plan installed before the server existed (ecfrmd -faults) still
+	// round-trips through GET /faults.
+	if in, ok := st.FaultInjector().(*faultinject.Injector); ok {
+		s.faultPlan = in.Plan()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/objects/", s.handleObject)
 	mux.HandleFunc("/admin/status", s.handleStatus)
@@ -96,6 +116,7 @@ func NewServer(st *store.Store) *Server {
 	mux.HandleFunc("/admin/scrub", s.handleScrub)
 	mux.HandleFunc("/admin/checksums", s.handleChecksums)
 	mux.HandleFunc("/admin/corrupt", s.handleCorrupt)
+	mux.HandleFunc("/faults", s.handleFaults)
 	s.mux = mux
 	return s
 }
@@ -171,7 +192,12 @@ func (s *Server) getObject(w http.ResponseWriter, _ *http.Request, name string) 
 	}
 	data, cost, maxLoad, err := s.readObject(obj)
 	if err != nil {
-		// Unrecoverable degradation is a server-side availability failure.
+		// Both flavors of degradation are availability failures, but
+		// exhausted retries against slow/erroring devices are transient:
+		// tell the client when to come back.
+		if errors.Is(err, store.ErrUnavailable) {
+			w.Header().Set("Retry-After", "1")
+		}
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -341,6 +367,45 @@ func (s *Server) handleCorrupt(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "corrupted stripe %d cell (%d,%d)\n", stripe, row, col)
+}
+
+// handleFaults drives the deterministic fault-injection subsystem: PUT
+// installs a validated plan (compiling it into the store's injector and
+// bumping the store epoch, which invalidates every decoded-read cache), GET
+// round-trips the installed plan, DELETE clears it.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.faultMu.Lock()
+		plan := s.faultPlan
+		s.faultMu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(plan)
+	case http.MethodPut:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		plan, err := faultinject.ParsePlan(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.faultMu.Lock()
+		s.faultPlan = plan
+		s.store.SetFaultInjector(faultinject.New(plan))
+		s.faultMu.Unlock()
+		fmt.Fprintf(w, "fault plan installed: seed %d, %d policies\n", plan.Seed, len(plan.Policies))
+	case http.MethodDelete:
+		s.faultMu.Lock()
+		s.faultPlan = faultinject.Plan{}
+		s.store.SetFaultInjector(nil)
+		s.faultMu.Unlock()
+		fmt.Fprintln(w, "fault plan cleared")
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {

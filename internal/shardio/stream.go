@@ -39,8 +39,14 @@ type pipeJob[J any] struct {
 // goroutine and must publish its results by mutating shared state the job
 // points at (jobs travel by value); consume runs on the caller's goroutine
 // in emission order. The first error from any stage wins.
+//
+// discard (optional) reclaims a job's pooled resources when its consume
+// never runs — the job's own work failed, or an earlier error aborted the
+// run. It is never called for a job that reached consume, even if consume
+// itself failed: consume owns the job's buffers from its first instruction,
+// and a second release would hand the same backing array to the pool twice.
 func pipeline[J any](workers int, produce func(emit func(J) bool) error,
-	work func(J) error, consume func(J) error) error {
+	work func(J) error, consume func(J) error, discard func(J)) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -77,12 +83,17 @@ func pipeline[J any](workers int, produce func(emit func(J) bool) error,
 	var firstErr error
 	for j := range order {
 		err := <-j.done
+		consumed := false
 		if err == nil && firstErr == nil {
 			err = consume(j.val)
+			consumed = true
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 			abort.Store(true)
+		}
+		if !consumed && discard != nil {
+			discard(j.val)
 		}
 	}
 	wg.Wait()
@@ -208,6 +219,17 @@ func EncodeStream(scheme *core.Scheme, r io.Reader, dir string, elemSize int, ma
 			payloadBufs.PutShard(j.payload)
 			return nil
 		},
+		func(j stripeJob) {
+			// Skipped stripe: recycle whatever parity cells the worker got
+			// around to allocating (data cells alias the payload chunk) and
+			// the chunk itself, so an aborted run leaves the arenas whole.
+			for i, c := range j.cells {
+				if !dataIdx[i] {
+					cellBufs.PutShard(c)
+				}
+			}
+			payloadBufs.PutShard(j.payload)
+		},
 	)
 	if err != nil {
 		closeAll()
@@ -294,6 +316,7 @@ func DecodeStream(scheme *core.Scheme, dir string, w io.Writer, workers int) (in
 			cellBufs.PutShards(j.cells)
 			return nil
 		},
+		func(j stripeJob) { cellBufs.PutShards(j.cells) },
 	)
 	if err != nil {
 		return missing, err
@@ -359,6 +382,7 @@ func VerifyStream(scheme *core.Scheme, dir string, workers int) error {
 			cellBufs.PutShards(j.cells)
 			return nil
 		},
+		func(j stripeJob) { cellBufs.PutShards(j.cells) },
 	)
 	if err != nil {
 		return err

@@ -18,8 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/layout"
@@ -37,9 +39,56 @@ var ErrFailed = errors.New("store: device failed")
 // automatically when the group has enough redundancy.
 var ErrCorrupt = errors.New("store: corrupt cell")
 
+// ErrUnavailable is returned when a device exhausted its retry budget on
+// slow-or-transient faults. It is softer than ErrFailed: the device is not
+// marked failed, but the current operation could not complete through it,
+// and reads fall back to a degraded plan that routes around it.
+var ErrUnavailable = errors.New("store: device unavailable")
+
 // errNeedsHeal is the internal signal that a shared-lock read hit a corrupt
 // cell and must retry exclusively so it may rewrite the healed bytes.
 var errNeedsHeal = errors.New("store: read needs exclusive heal")
+
+// Default per-operation retry policy: how long one device operation may
+// take before it counts as timed out, and how many times a transient fault
+// is retried before the device is reported ErrUnavailable.
+const (
+	DefaultOpTimeout = 50 * time.Millisecond
+	DefaultRetries   = 2
+)
+
+// Fault is the injected outcome of one device operation, decided by a
+// FaultInjector before the store touches the device. The zero value means
+// "no fault": the operation proceeds normally.
+type Fault struct {
+	// Delay is added service latency. A delay exceeding the store's per-op
+	// timeout counts as a timed-out operation (the store waits out the
+	// timeout, not the full delay).
+	Delay time.Duration
+	// Stuck marks an operation that would hang past any timeout — a stuck
+	// or pathologically slow disk.
+	Stuck bool
+	// Err is a transient error returned instead of performing the
+	// operation. Retried up to the store's retry budget.
+	Err error
+	// Corrupt marks a read whose returned bits fail the cell checksum — a
+	// transient medium mis-read, detected and retried like Err (reads only).
+	Corrupt bool
+	// Failed marks a device that has fail-stopped (e.g. a fail-after-N-ops
+	// policy tripping). The operation returns ErrFailed and reads treat the
+	// device exactly like one marked by FailDisk.
+	Failed bool
+}
+
+// FaultInjector decides the fault, if any, for every device operation. The
+// store consults it on each element-granularity read and write (including
+// retries — every attempt is a fresh decision). Implementations must be
+// safe for concurrent use; internal/faultinject provides a seeded,
+// deterministic one.
+type FaultInjector interface {
+	ReadFault(dev int) Fault
+	WriteFault(dev int) Fault
+}
 
 // Device is one simulated disk: a cell container with I/O accounting and
 // per-cell CRC32C checksums that detect silent corruption on read.
@@ -123,8 +172,22 @@ type Store struct {
 
 	// epoch increments on every mutation that can change the bytes a read
 	// returns or the plan it follows (failure, recovery, corruption, heal,
-	// overwrite). Callers caching decoded reads key them by this value.
+	// overwrite, fault-plan change). Callers caching decoded reads key them
+	// by this value.
 	epoch atomic.Int64
+
+	// inject, when non-nil, decides a fault for every device operation.
+	// Guarded by mu (set exclusively, consulted under either lock mode).
+	inject FaultInjector
+	// opTimeout and retries are the per-operation retry policy applied when
+	// a fault injector is installed.
+	opTimeout time.Duration
+	retries   int
+
+	// testBeforeHeal, when set by a test, runs between a shared-lock read
+	// detecting corruption and the exclusive re-acquisition that heals it —
+	// the window where concurrent failures can change what is recoverable.
+	testBeforeHeal func()
 }
 
 // New creates a store using the given scheme with elemSize-byte elements.
@@ -136,7 +199,13 @@ func New(scheme *core.Scheme, elemSize int) (*Store, error) {
 	for i := range devs {
 		devs[i] = newDevice(i)
 	}
-	return &Store{scheme: scheme, elemSize: elemSize, devices: devs}, nil
+	return &Store{
+		scheme:    scheme,
+		elemSize:  elemSize,
+		devices:   devs,
+		opTimeout: DefaultOpTimeout,
+		retries:   DefaultRetries,
+	}, nil
 }
 
 // MustNew is New for known-good arguments; it panics on error.
@@ -183,6 +252,38 @@ func (s *Store) Stripes() int {
 // may be cached until the epoch moves.
 func (s *Store) Epoch() int64 { return s.epoch.Load() }
 
+// SetFaultInjector installs (or with nil, removes) the fault injector
+// consulted on every device operation. Installing a plan bumps the epoch:
+// a plan can change what reads observe (e.g. corruption behaviour), so any
+// decoded-read cache keyed by the epoch must invalidate.
+func (s *Store) SetFaultInjector(fi FaultInjector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inject = fi
+	s.epoch.Add(1)
+}
+
+// FaultInjector returns the currently installed fault injector (nil if none).
+func (s *Store) FaultInjector() FaultInjector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inject
+}
+
+// SetRetryPolicy overrides the per-operation timeout and transient-fault
+// retry budget (attempts = retries+1). Zero or negative arguments keep the
+// defaults.
+func (s *Store) SetRetryPolicy(perOp time.Duration, retries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if perOp > 0 {
+		s.opTimeout = perOp
+	}
+	if retries >= 0 {
+		s.retries = retries
+	}
+}
+
 // Device returns device d for inspection.
 func (s *Store) Device(d int) *Device {
 	s.mu.RLock()
@@ -202,6 +303,87 @@ func (s *Store) ResetCounters() {
 
 // stripeBytes is the user-data capacity of one stripe.
 func (s *Store) stripeBytes() int { return s.scheme.DataPerStripe() * s.elemSize }
+
+// readCell reads one cell from device dev through the fault injector.
+// Injected latency is served (capped at the per-op timeout), transient
+// faults — errors, timed-out/stuck operations, checksum-failing mis-reads —
+// are retried up to the retry budget, and a device that exhausts the budget
+// is reported ErrUnavailable so read paths can route around it. Checksum
+// failures of the stored bytes themselves surface as ErrCorrupt (persistent
+// corruption: retrying cannot help, healing can). Caller holds mu in either
+// mode.
+func (s *Store) readCell(dev int, k cellKey) ([]byte, error) {
+	d := s.devices[dev]
+	var last error
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		var f Fault
+		if s.inject != nil {
+			f = s.inject.ReadFault(dev)
+		}
+		if f.Failed {
+			return nil, fmt.Errorf("%w: device %d fail-stopped by fault plan", ErrFailed, dev)
+		}
+		if f.Stuck || f.Delay > s.opTimeout {
+			time.Sleep(s.opTimeout)
+			last = fmt.Errorf("%w: device %d read timed out after %v", ErrUnavailable, dev, s.opTimeout)
+			continue
+		}
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Err != nil {
+			last = fmt.Errorf("%w: device %d: %v", ErrUnavailable, dev, f.Err)
+			continue
+		}
+		data, err := d.read(k)
+		if err != nil {
+			// Failed flag, missing cell, or stored-bytes checksum failure:
+			// none of these are transient, so no retry.
+			return nil, err
+		}
+		if f.Corrupt {
+			// The device returned bits failing the checksum — a transient
+			// medium mis-read (the stored cell is clean). Retry.
+			last = fmt.Errorf("%w: device %d returned bytes failing checksum", ErrUnavailable, dev)
+			continue
+		}
+		return data, nil
+	}
+	return nil, last
+}
+
+// writeGate runs the write-side fault decision for one cell write on device
+// dev: latency is served and transient faults retried, exactly like
+// readCell. Actual cell commits are pure memory mutations that cannot fail,
+// so multi-cell updates gate every write first and only then mutate — a
+// faulted update aborts with no partial state, keeping stripes
+// parity-consistent under any fault schedule. Caller holds mu exclusively.
+func (s *Store) writeGate(dev int) error {
+	var last error
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		var f Fault
+		if s.inject != nil {
+			f = s.inject.WriteFault(dev)
+		}
+		if f.Failed {
+			return fmt.Errorf("%w: device %d fail-stopped by fault plan", ErrFailed, dev)
+		}
+		if f.Stuck || f.Delay > s.opTimeout {
+			time.Sleep(s.opTimeout)
+			last = fmt.Errorf("%w: device %d write timed out after %v", ErrUnavailable, dev, s.opTimeout)
+			continue
+		}
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Err != nil {
+			last = fmt.Errorf("%w: device %d: %v", ErrUnavailable, dev, f.Err)
+			continue
+		}
+		return nil
+	}
+	return last
+}
 
 // Append adds data to the store, sealing (encoding and distributing) every
 // stripe that fills. Partial tails stay buffered until more data arrives or
@@ -232,8 +414,13 @@ func (s *Store) Flush() error {
 	}
 	buf := make([]byte, s.stripeBytes())
 	copy(buf, s.pending)
+	if err := s.seal(buf); err != nil {
+		// Keep the partial tail: a faulted seal wrote nothing, so the bytes
+		// are still only in the buffer and a later Flush can retry.
+		return err
+	}
 	s.pending = nil
-	return s.seal(buf)
+	return nil
 }
 
 // seal encodes one stripe's worth of bytes and writes all cells to devices.
@@ -253,6 +440,17 @@ func (s *Store) seal(buf []byte) error {
 	}
 	lay := s.scheme.Layout()
 	n := s.scheme.N()
+	// Fault gate every cell write before touching any device: a faulted
+	// stripe seal aborts whole, leaving the pending buffer intact for a
+	// later retry instead of a half-written stripe.
+	for col := 0; col < n; col++ {
+		disk := lay.Disk(s.stripes, col)
+		for row := 0; row < lay.Rows(); row++ {
+			if err := s.writeGate(disk); err != nil {
+				return fmt.Errorf("store: seal stripe %d: %w", s.stripes, err)
+			}
+		}
+	}
 	for row := 0; row < lay.Rows(); row++ {
 		for col := 0; col < n; col++ {
 			pos := layout.Pos{Row: row, Col: col}
@@ -329,6 +527,11 @@ type ReadResult struct {
 // sets and the store decodes the lost elements. Bytes must lie within
 // sealed stripes (append full stripes or Flush first).
 //
+// Slow or erroring devices (injected faults) are retried with a bounded
+// budget; a device that stays unavailable is routed around exactly like a
+// failed one — the read re-plans degraded and decodes the missing elements —
+// so availability degrades gracefully long before a disk is marked failed.
+//
 // Concurrent ReadAt calls share the store lock and proceed in parallel. The
 // one exception is a read that trips over silent corruption: healing
 // rewrites the cell, so the read retries under the exclusive lock.
@@ -339,7 +542,12 @@ func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
 	if !errors.Is(err, errNeedsHeal) {
 		return res, err
 	}
+	if s.testBeforeHeal != nil {
+		s.testBeforeHeal()
+	}
 	// Corruption found: retry exclusively so healCell may rewrite devices.
+	// The failure set is re-read and the plan rebuilt under the exclusive
+	// lock — anything that changed in the lock gap is observed here.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.readAt(off, length, true)
@@ -349,6 +557,12 @@ func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
 // heal=false a corrupt cell aborts with errNeedsHeal (the caller escalates
 // to the exclusive lock); with heal=true (exclusive lock held) corrupt cells
 // are rebuilt and rewritten in place.
+//
+// Devices that exhaust their retry budget mid-plan are collected and the
+// read re-plans with them treated as failed (degraded fallback). The loop
+// terminates: each iteration either returns or grows the unavailable set,
+// and planning fails with ErrUnrecoverable once too much of the array is
+// out of service.
 func (s *Store) readAt(off int64, length int, heal bool) (*ReadResult, error) {
 	if off < 0 || length < 0 {
 		return nil, fmt.Errorf("%w: off=%d length=%d", ErrRange, off, length)
@@ -364,94 +578,182 @@ func (s *Store) readAt(off int64, length int, heal bool) (*ReadResult, error) {
 	endElem := int((off + int64(length) - 1) / int64(s.elemSize))
 	count := endElem - startElem + 1
 
-	failed := s.failedDisksLocked()
-	var plan *core.Plan
-	var err error
-	if len(failed) == 0 {
-		plan, err = s.scheme.PlanNormalRead(startElem, count)
-	} else {
-		plan, err = s.scheme.PlanDegradedRead(startElem, count, failed)
-	}
-	if err != nil {
-		return nil, err
-	}
+	unavail := make(map[int]bool) // devices that proved slow-or-erroring
 
-	// Execute the plan: fetch each planned cell into per-stripe buffers.
-	// Checksum failures are healed on the fly from the cell's group.
-	fetched := make(map[int][][]byte) // stripe → cells
-	healed := 0
-	for _, a := range plan.Reads {
-		cells, ok := fetched[a.Stripe]
-		if !ok {
-			cells = make([][]byte, s.scheme.CellsPerStripe())
-			fetched[a.Stripe] = cells
+replan:
+	for {
+		failed := s.failedDisksLocked()
+		for d := range unavail {
+			failed = append(failed, d)
 		}
-		data, err := s.devices[a.Disk].read(cellKey{a.Stripe, a.Pos})
-		if errors.Is(err, ErrCorrupt) {
-			if !heal {
-				return nil, errNeedsHeal
+		sort.Ints(failed)
+		failed = dedupInts(failed)
+
+		var plan *core.Plan
+		var err error
+		if len(failed) == 0 {
+			plan, err = s.scheme.PlanNormalRead(startElem, count)
+		} else {
+			plan, err = s.scheme.PlanDegradedRead(startElem, count, failed)
+		}
+		if err != nil {
+			if len(unavail) > 0 {
+				// The plan only became impossible because of devices that
+				// are transiently out: surface that, so callers can retry
+				// later rather than treat the data as lost.
+				return nil, fmt.Errorf("%w: degraded fallback exhausted (unavailable %v): %w",
+					ErrUnavailable, keysSorted(unavail), err)
 			}
-			data, err = s.healCell(a.Stripe, a.Pos)
+			return nil, err
+		}
+
+		// Execute the plan: fetch each planned cell into per-stripe buffers.
+		// Checksum failures are healed on the fly from the cell's group;
+		// unavailable devices send the read back around for a new plan.
+		fetched := make(map[int][][]byte) // stripe → cells
+		healed := 0
+		for _, a := range plan.Reads {
+			cells, ok := fetched[a.Stripe]
+			if !ok {
+				cells = make([][]byte, s.scheme.CellsPerStripe())
+				fetched[a.Stripe] = cells
+			}
+			data, err := s.readCell(a.Disk, cellKey{a.Stripe, a.Pos})
+			if errors.Is(err, ErrCorrupt) {
+				if !heal {
+					return nil, errNeedsHeal
+				}
+				data, err = s.healCell(a.Stripe, a.Pos)
+				if err != nil {
+					return nil, err
+				}
+				healed++
+			} else if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrFailed) {
+				unavail[a.Disk] = true
+				continue replan
+			}
 			if err != nil {
 				return nil, err
 			}
-			healed++
+			cells[a.Pos.Row*s.scheme.N()+a.Pos.Col] = data
 		}
-		if err != nil {
-			return nil, err
-		}
-		cells[a.Pos.Row*s.scheme.N()+a.Pos.Col] = data
-	}
 
-	// Assemble the requested elements, decoding lost ones on the fly.
-	dps := s.scheme.DataPerStripe()
-	out := make([]byte, 0, count*s.elemSize)
-	for x := startElem; x <= endElem; x++ {
-		stripe, e := x/dps, x%dps
-		cells, ok := fetched[stripe]
-		if !ok {
-			return nil, fmt.Errorf("store: plan missed stripe %d", stripe)
+		// Assemble the requested elements, decoding lost ones on the fly.
+		dps := s.scheme.DataPerStripe()
+		out := make([]byte, 0, count*s.elemSize)
+		for x := startElem; x <= endElem; x++ {
+			stripe, e := x/dps, x%dps
+			cells, ok := fetched[stripe]
+			if !ok {
+				return nil, fmt.Errorf("store: plan missed stripe %d", stripe)
+			}
+			shard, err := s.scheme.RebuildData(cells, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, shard...)
 		}
-		shard, err := s.scheme.RebuildData(cells, e)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, shard...)
+		skip := int(off - int64(startElem)*int64(s.elemSize))
+		return &ReadResult{Data: out[skip : skip+length], Plan: plan, Healed: healed}, nil
 	}
-	skip := int(off - int64(startElem)*int64(s.elemSize))
-	return &ReadResult{Data: out[skip : skip+length], Plan: plan, Healed: healed}, nil
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice, in place.
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// keysSorted returns the map's keys ascending, for stable error text.
+func keysSorted(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // healCell rebuilds a corrupt (checksum-failing) cell from the surviving
 // cells of its code group, rewrites it to its device, and returns the clean
 // bytes. The corrupt cell and any failed disks count as erasures. Caller
 // holds mu exclusively.
+//
+// Recoverability is re-validated here, under the exclusive lock: the
+// corruption was detected under the shared lock, and a concurrent FailDisk
+// in the lock gap can push the group past what the code decodes. The heal
+// refuses loudly (ErrUnrecoverable) rather than rewrite anything derived
+// from an over-erased group.
 func (s *Store) healCell(stripe int, pos layout.Pos) ([]byte, error) {
 	lay := s.scheme.Layout()
+	code := s.scheme.Code()
 	target := lay.CellAt(pos)
-	group := make([][]byte, s.scheme.Code().N())
-	for t := 0; t < s.scheme.Code().N(); t++ {
+	ownDisk := lay.Disk(stripe, pos.Col)
+	if s.devices[ownDisk].failed {
+		// The corrupt cell's own disk failed in the lock gap: there is
+		// nothing to rewrite — the whole device needs recovery.
+		return nil, fmt.Errorf("%w: cannot heal stripe %d cell (%d,%d): device %d failed mid-heal",
+			core.ErrUnrecoverable, stripe, pos.Row, pos.Col, ownDisk)
+	}
+	group := make([][]byte, code.N())
+	erased := []int{target.Element}
+	for t := 0; t < code.N(); t++ {
 		p := lay.GroupCell(target.Group, t)
 		if p == pos {
 			continue // the corrupt cell itself
 		}
 		disk := lay.Disk(stripe, p.Col)
-		data, err := s.devices[disk].read(cellKey{stripe, p})
+		data, err := s.readCell(disk, cellKey{stripe, p})
 		if err != nil {
-			// Failed disk, or a second corrupt cell: leave as erasure and
-			// let the decoder decide recoverability.
+			// Failed or unavailable disk, or a second corrupt cell: leave
+			// as erasure and let the decoder decide recoverability.
+			erased = append(erased, t)
 			continue
 		}
 		group[t] = data
 	}
-	if err := s.scheme.Code().ReconstructElements(group, []int{target.Element}); err != nil {
+	if !code.CanRecover(erased) {
+		return nil, fmt.Errorf("%w: cannot heal stripe %d cell (%d,%d): erased elements %v exceed what %s decodes",
+			core.ErrUnrecoverable, stripe, pos.Row, pos.Col, erased, code.Name())
+	}
+	if err := code.ReconstructElements(group, []int{target.Element}); err != nil {
 		return nil, fmt.Errorf("%w: cannot heal stripe %d cell (%d,%d): %v",
 			ErrCorrupt, stripe, pos.Row, pos.Col, err)
 	}
 	clean := group[target.Element]
-	s.devices[lay.Disk(stripe, pos.Col)].write(cellKey{stripe, pos}, clean)
+	if err := s.writeGate(ownDisk); err != nil {
+		return nil, fmt.Errorf("store: heal stripe %d cell (%d,%d) rewrite: %w",
+			stripe, pos.Row, pos.Col, err)
+	}
+	s.devices[ownDisk].write(cellKey{stripe, pos}, clean)
 	s.epoch.Add(1)
 	return clean, nil
+}
+
+// Heal checks the cell at (stripe, pos) and, if its stored bytes fail their
+// checksum, rebuilds and rewrites it from its group. It reports whether a
+// heal happened. Clean cells are a no-op; unrecoverable cells return an
+// error wrapping core.ErrUnrecoverable.
+func (s *Store) Heal(stripe int, pos layout.Pos) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	disk := s.scheme.Layout().Disk(stripe, pos.Col)
+	_, err := s.devices[disk].read(cellKey{stripe, pos})
+	if err == nil {
+		return false, nil
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		return false, err
+	}
+	if _, err := s.healCell(stripe, pos); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // WriteAt overwrites length-len(data) bytes at offset off within the sealed
@@ -480,7 +782,18 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 	dps := s.scheme.DataPerStripe()
 	count := len(data) / s.elemSize
 	startElem := int(off / int64(s.elemSize))
-	// Group touched elements by stripe and apply per-stripe updates.
+
+	// Stage every cell update first, then fault-gate every write, then
+	// commit. Loads of cells an earlier element already updated read from
+	// the staging overlay, so parity deltas compose; nothing touches a
+	// device until every read succeeded and every write cleared its gate —
+	// a faulted update aborts whole, never leaving parity inconsistent.
+	type stagedWrite struct {
+		disk int
+		k    cellKey
+	}
+	overlay := make(map[cellKey][]byte)
+	var order []stagedWrite
 	for i := 0; i < count; i++ {
 		x := startElem + i
 		stripe, e := x/dps, x%dps
@@ -489,8 +802,13 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 		pos := lay.DataPos(e)
 		cell := lay.CellAt(pos)
 		load := func(p layout.Pos) error {
+			k := cellKey{stripe, p}
+			if staged, ok := overlay[k]; ok {
+				cells[p.Row*n+p.Col] = staged
+				return nil
+			}
 			disk := lay.Disk(stripe, p.Col)
-			data, err := s.devices[disk].read(cellKey{stripe, p})
+			data, err := s.readCell(disk, k)
 			if err != nil {
 				return err
 			}
@@ -512,8 +830,20 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 		}
 		for _, idx := range touched {
 			p := layout.Pos{Row: idx / n, Col: idx % n}
-			s.devices[lay.Disk(stripe, p.Col)].write(cellKey{stripe, p}, cells[idx])
+			k := cellKey{stripe, p}
+			if _, ok := overlay[k]; !ok {
+				order = append(order, stagedWrite{lay.Disk(stripe, p.Col), k})
+			}
+			overlay[k] = cells[idx]
 		}
+	}
+	for _, sw := range order {
+		if err := s.writeGate(sw.disk); err != nil {
+			return fmt.Errorf("store: write [%d,+%d): %w", off, len(data), err)
+		}
+	}
+	for _, sw := range order {
+		s.devices[sw.disk].write(sw.k, overlay[sw.k])
 	}
 	s.epoch.Add(1)
 	return nil
@@ -555,9 +885,9 @@ func (s *Store) RecoverDisk(d int) (readCost int, err error) {
 			if failedSet[disk] {
 				return nil, false
 			}
-			data, err := s.devices[disk].read(cellKey{stripe, pos})
+			data, err := s.readCell(disk, cellKey{stripe, pos})
 			if err != nil {
-				// Failed or silently corrupt: treat as erased.
+				// Failed, unavailable, or silently corrupt: treat as erased.
 				return nil, false
 			}
 			fetched[pos] = data
@@ -624,7 +954,7 @@ func (s *Store) Scrub() ([]int, error) {
 		corrupt := false
 		for row := 0; row < lay.Rows() && !corrupt; row++ {
 			for col := 0; col < n; col++ {
-				data, err := s.devices[lay.Disk(stripe, col)].read(cellKey{stripe, layout.Pos{Row: row, Col: col}})
+				data, err := s.readCell(lay.Disk(stripe, col), cellKey{stripe, layout.Pos{Row: row, Col: col}})
 				if errors.Is(err, ErrCorrupt) {
 					corrupt = true
 					break
