@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fuzz-smoke chaos
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fuzz-smoke chaos obs-smoke
 
 all: build
 
@@ -21,9 +21,10 @@ race:
 	$(GO) test -race ./...
 
 # The concurrency-heavy packages under the race detector: the sharded object
-# server, the store's reader/mutator paths, and the streaming pipeline.
+# server, the store's reader/mutator paths, the streaming pipeline, and the
+# metrics registry every scrape races against.
 race-io:
-	$(GO) test -race ./internal/httpd/... ./internal/store/... ./internal/shardio/...
+	$(GO) test -race ./internal/httpd/... ./internal/store/... ./internal/shardio/... ./internal/obs/...
 
 # A fast benchmark pass (one short iteration per benchmark) that catches
 # panics/regressions in the bench harnesses without waiting for full timings.
@@ -48,6 +49,12 @@ readpath-smoke:
 readpath-json:
 	$(GO) run ./cmd/ecfrmbench -readpath BENCH_readpath.json -readpath-bytes 1073741824
 
+# End-to-end observability check against a real daemon: start ecfrmd, PUT and
+# GET an object over HTTP, and assert /metrics scrapes cleanly with the
+# expected series present (per-disk reads, max-load histogram, cache counters).
+obs-smoke:
+	./scripts/obs-smoke.sh
+
 # A short fuzz run over the GF kernel equivalence target.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
@@ -61,4 +68,4 @@ chaos:
 	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
 		./internal/faultinject/ ./internal/shardio/
 
-ci: vet race race-io bench-smoke readpath-smoke chaos
+ci: vet race race-io bench-smoke readpath-smoke obs-smoke chaos

@@ -17,11 +17,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gf"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/rs"
 	"repro/internal/shardio"
 )
@@ -191,6 +193,14 @@ func runReadpathBench(path string, payloadBytes int64) error {
 	}
 	defer os.RemoveAll(tmp)
 
+	// Stage timings for every timed run accumulate here and are dumped as a
+	// Prometheus text snapshot alongside the JSON: the per-stage (produce /
+	// work / commit) distributions say *where* a configuration's time went,
+	// which the end-to-end MB/s figure cannot.
+	reg := obs.NewRegistry()
+	shardio.EnableMetrics(reg)
+	defer shardio.EnableMetrics(nil)
+
 	inPath := filepath.Join(tmp, "payload.bin")
 	wantSum, err := writePayloadFile(inPath, payloadBytes, 2015)
 	if err != nil {
@@ -328,5 +338,19 @@ func runReadpathBench(path string, payloadBytes int64) error {
 		return err
 	}
 	fmt.Printf("(wrote %s)\n", path)
+
+	metricsPath := strings.TrimSuffix(path, ".json") + ".metrics.prom"
+	mf, err := os.Create(metricsPath)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", metricsPath)
 	return nil
 }

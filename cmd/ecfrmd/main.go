@@ -17,35 +17,57 @@
 //	curl -X PUT --data-binary @plan.json localhost:8080/faults
 //	curl localhost:8080/faults
 //	curl -X DELETE localhost:8080/faults
+//
+// Observability: GET /metrics always serves the Prometheus text exposition
+// (per-disk load counters, the max-disk-load histogram, cache and latency
+// distributions — see internal/obs). -obs additionally mounts net/http/pprof
+// under /debug/pprof/ and logs a periodic load-imbalance line (max/mean
+// element reads per disk over the interval), the live view of the paper's
+// claim that EC-FRM keeps the most-loaded disk close to the mean:
+//
+//	ecfrmd -obs -obs-interval 10s
+//	curl localhost:8080/metrics
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=5
+//
+// The daemon shuts down gracefully: SIGINT/SIGTERM stops accepting new
+// connections and drains in-flight requests for up to 10 seconds.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/httpd"
 	"repro/internal/layout"
 	"repro/internal/lrc"
+	"repro/internal/obs"
 	"repro/internal/rs"
 	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		code   = flag.String("code", "lrc", "candidate code: rs or lrc")
-		k      = flag.Int("k", 6, "data elements per row")
-		l      = flag.Int("l", 2, "local parities (lrc only)")
-		m      = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
-		form   = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
-		elem   = flag.Int("elem", 64<<10, "element size in bytes")
-		faults = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		code     = flag.String("code", "lrc", "candidate code: rs or lrc")
+		k        = flag.Int("k", 6, "data elements per row")
+		l        = flag.Int("l", 2, "local parities (lrc only)")
+		m        = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
+		form     = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
+		elem     = flag.Int("elem", 64<<10, "element size in bytes")
+		faults   = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
+		obsOn    = flag.Bool("obs", false, "enable pprof endpoints and the periodic load-imbalance log line")
+		obsEvery = flag.Duration("obs-interval", 10*time.Second, "load-imbalance log interval (with -obs)")
 	)
 	flag.Parse()
 
@@ -87,7 +109,82 @@ func main() {
 		log.Printf("fault plan %s installed: seed %d, %d device policies",
 			*faults, plan.Seed, len(plan.Policies))
 	}
+	reg := obs.NewRegistry()
+	handler := httpd.NewServerWith(st, httpd.Config{Registry: reg, EnablePprof: *obsOn})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Bound how long a peer may dribble headers and how long idle
+		// keep-alive connections pin resources; response bodies (large
+		// objects, pprof profiles) stay unbounded.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Periodic load-imbalance line: the paper's max-load claim, watchable in
+	// the daemon's own log. Reported over the interval (deltas, not
+	// lifetime totals), so a balanced steady state reads near 1.0 even after
+	// an unbalanced past.
+	stopObs := make(chan struct{})
+	if *obsOn {
+		go func() {
+			n := scheme.N()
+			prev := make([]int, n)
+			tick := time.NewTicker(*obsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopObs:
+					return
+				case <-tick.C:
+					cur := make([]int, n)
+					total, max := 0, 0
+					for d := 0; d < n; d++ {
+						cur[d] = st.Device(d).Reads()
+						delta := cur[d] - prev[d]
+						total += delta
+						if delta > max {
+							max = delta
+						}
+					}
+					if total == 0 {
+						prev = cur
+						continue
+					}
+					mean := float64(total) / float64(n)
+					log.Printf("load: %d element reads in %v, max/disk=%d mean/disk=%.1f imbalance=%.2f",
+						total, *obsEvery, max, mean, float64(max)/mean)
+					prev = cur
+				}
+			}
+		}()
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the listener and drains
+	// in-flight requests for up to 10s before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving %s (%d disks, tolerates %d failures, %.2fx overhead) on %s",
 		scheme.Name(), scheme.N(), scheme.FaultTolerance(), scheme.StorageOverhead(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpd.NewServer(st)))
+
+	select {
+	case err := <-errc:
+		log.Fatal("ecfrmd: ", err)
+	case <-ctx.Done():
+		stop()
+		close(stopObs)
+		log.Print("signal received, draining (10s grace)")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Fatal("ecfrmd: shutdown: ", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("ecfrmd: ", err)
+		}
+		log.Print("drained, bye")
+	}
 }

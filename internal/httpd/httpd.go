@@ -7,6 +7,10 @@
 //
 //	PUT  /objects/{name}         store the request body as an object
 //	GET  /objects/{name}         read it back (degraded reads transparent)
+//	HEAD /objects/{name}         metadata only: Content-Length, X-Read-Cost,
+//	                             X-Max-Disk-Load from the plan — no decode
+//	GET  /metrics                Prometheus text exposition (see internal/obs)
+//	GET  /debug/pprof/*          net/http/pprof (opt-in via Config.EnablePprof)
 //	GET  /admin/status           scheme, stripes, failures, device counters
 //	POST /admin/fail?disk=D      mark device D failed
 //	POST /admin/recover?disk=D   rebuild device D from survivors
@@ -39,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -97,17 +103,74 @@ type Server struct {
 
 	// cacheBytes tracks the total decoded payload bytes currently cached.
 	cacheBytes atomic.Int64
+
+	// Observability (see internal/obs): the registry backing GET /metrics,
+	// cache hit/miss counters, and per-op request latency histograms.
+	reg         *obs.Registry
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	latGet      *obs.Histogram
+	latPut      *obs.Histogram
+	latHead     *obs.Histogram
 }
 
+// Config tunes optional server behaviour.
+type Config struct {
+	// Registry receives the server's (and, via store.SetMetrics, the
+	// store's) metrics. Nil creates a private registry; either way GET
+	// /metrics serves it.
+	Registry *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints on a storage port are opt-in.
+	EnablePprof bool
+}
+
+// requestBuckets spans 100µs to ~25s exponentially — tight enough to
+// resolve cache hits, wide enough for degraded reads under injected latency.
+var requestBuckets = obs.ExpBuckets(1e-4, 4, 9)
+
 // NewServer wraps a store (callers construct it with the scheme and element
-// size they want).
-func NewServer(st *store.Store) *Server {
+// size they want) with default Config.
+func NewServer(st *store.Store) *Server { return NewServerWith(st, Config{}) }
+
+// NewServerWith wraps a store with explicit observability configuration.
+func NewServerWith(st *store.Store, cfg Config) *Server {
 	s := &Server{store: st, objects: make(map[string]*object)}
 	// A plan installed before the server existed (ecfrmd -faults) still
 	// round-trips through GET /faults.
 	if in, ok := st.FaultInjector().(*faultinject.Injector); ok {
 		s.faultPlan = in.Plan()
 	}
+	s.reg = cfg.Registry
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	// Wire the store's bundle into the same registry unless something
+	// upstream (the daemon, a test) already installed one.
+	if st.Metrics() == nil {
+		st.SetMetrics(store.NewMetrics(s.reg, st.Scheme().N()))
+	}
+	s.cacheHits = s.reg.Counter("ecfrm_httpd_cache_hits_total",
+		"Object GETs served from the decoded-read cache.")
+	s.cacheMisses = s.reg.Counter("ecfrm_httpd_cache_misses_total",
+		"Object GETs that had to decode from the store.")
+	s.latGet = s.reg.Histogram("ecfrm_httpd_request_seconds",
+		"Object request latency by operation.", requestBuckets, obs.L("op", "get"))
+	s.latPut = s.reg.Histogram("ecfrm_httpd_request_seconds",
+		"Object request latency by operation.", requestBuckets, obs.L("op", "put"))
+	s.latHead = s.reg.Histogram("ecfrm_httpd_request_seconds",
+		"Object request latency by operation.", requestBuckets, obs.L("op", "head"))
+	s.reg.GaugeFunc("ecfrm_httpd_cached_bytes",
+		"Decoded payload bytes currently cached.",
+		func() float64 { return float64(s.cacheBytes.Load()) })
+	s.reg.GaugeFunc("ecfrm_httpd_objects",
+		"Objects stored.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.objects))
+		})
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/objects/", s.handleObject)
 	mux.HandleFunc("/admin/status", s.handleStatus)
@@ -117,9 +180,21 @@ func NewServer(st *store.Store) *Server {
 	mux.HandleFunc("/admin/checksums", s.handleChecksums)
 	mux.HandleFunc("/admin/corrupt", s.handleCorrupt)
 	mux.HandleFunc("/faults", s.handleFaults)
+	mux.Handle("/metrics", s.reg.Handler())
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
+
+// Registry returns the registry behind GET /metrics, so embedding callers
+// (the daemons) can add their own instruments to the same scrape.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -132,9 +207,14 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodPut:
+		defer obs.StartSpan(s.latPut).End()
 		s.putObject(w, r, name)
 	case http.MethodGet:
+		defer obs.StartSpan(s.latGet).End()
 		s.getObject(w, r, name)
+	case http.MethodHead:
+		defer obs.StartSpan(s.latHead).End()
+		s.headObject(w, r, name)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
@@ -207,6 +287,28 @@ func (s *Server) getObject(w http.ResponseWriter, _ *http.Request, name string) 
 	w.Write(data)
 }
 
+// headObject serves object metadata without decoding or transferring the
+// payload: the size from the object map and the cost/max-load a GET would
+// incur, computed by planning the read without touching any device.
+func (s *Server) headObject(w http.ResponseWriter, _ *http.Request, name string) {
+	obj, ok := s.lookup(name)
+	if !ok {
+		// No http.Error: HEAD responses carry no body.
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	plan, err := s.store.PlanRead(obj.meta.Off, obj.meta.Size)
+	if err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(obj.meta.Size))
+	w.Header().Set("X-Read-Cost", fmt.Sprintf("%.3f", plan.Cost()))
+	w.Header().Set("X-Max-Disk-Load", strconv.Itoa(plan.MaxLoad()))
+	w.WriteHeader(http.StatusOK)
+}
+
 // readObject returns the object's decoded payload, serving from the
 // epoch-tagged cache when valid and filling it otherwise. The per-object
 // mutex is held only for the decode, never while writing the response, and
@@ -217,12 +319,14 @@ func (s *Server) readObject(obj *object) ([]byte, float64, int, error) {
 	epoch := s.store.Epoch()
 	if c := obj.cache; c != nil {
 		if c.epoch == epoch {
+			s.cacheHits.Inc()
 			return c.data, c.cost, c.maxLoad, nil
 		}
 		// Stale: drop it and release its budget before re-reading.
 		s.cacheBytes.Add(-int64(len(c.data)))
 		obj.cache = nil
 	}
+	s.cacheMisses.Inc()
 	res, err := s.store.ReadAt(obj.meta.Off, obj.meta.Size)
 	if err != nil {
 		return nil, 0, 0, err

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4). Families render in registration
+// order, series in creation order, so scrapes are deterministic and tests
+// can pin them down. Histograms render cumulative le-buckets plus _sum and
+// _count, exactly as a Prometheus client would.
+
+// famSnapshot is one family's render view, captured under the registry lock
+// so a concurrent lookup creating new series cannot race the scrape.
+type famSnapshot struct {
+	name, help string
+	kind       kind
+	series     []*series
+}
+
+// WriteText renders every registered metric to w.
+func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot family and series lists under the lock, then render without
+	// it: instrument reads are atomic, and scrapes must not stall the hot
+	// path.
+	r.mu.Lock()
+	fams := make([]famSnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		snap := famSnapshot{name: f.name, help: f.help, kind: f.kind}
+		for _, sig := range f.order {
+			snap.series = append(snap.series, f.series[sig])
+		}
+		fams = append(fams, snap)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelSignature(s.labels), s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelSignature(s.labels), formatFloat(s.g.Value()))
+			case kindHistogram:
+				writeHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with the
+// le label appended to the series labels, then _sum and _count.
+func writeHistogram(w io.Writer, name string, s *series) {
+	h := s.h
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.labels, formatFloat(bound)), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(s.labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelSignature(s.labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelSignature(s.labels), h.Count())
+}
+
+// withLE renders labels plus the bucket's le label.
+func withLE(labels []Label, le string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{Key: "le", Value: le})
+	return labelSignature(all)
+}
+
+// formatFloat renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are legal).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry as a scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

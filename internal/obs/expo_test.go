@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWriteTextFormat pins the exposition output byte for byte: families in
+// registration order, series in creation order, HELP/TYPE lines, cumulative
+// histogram buckets, label escaping.
+func TestWriteTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reads_total", "Total reads.", L("disk", "0")).Add(3)
+	reg.Counter("reads_total", "Total reads.", L("disk", "1")).Add(5)
+	reg.Gauge("temp", "Temperature.").Set(1.5)
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{1, 2}, L("op", "get"))
+	h.Observe(0.5)
+	h.Observe(1)   // boundary: lands in le="1"
+	h.Observe(1.5) // le="2"
+	h.Observe(9)   // +Inf only
+	reg.Counter("odd_total", "Weird labels.", L("name", `a"b\c`+"\n")).Inc()
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP reads_total Total reads.`,
+		`# TYPE reads_total counter`,
+		`reads_total{disk="0"} 3`,
+		`reads_total{disk="1"} 5`,
+		`# HELP temp Temperature.`,
+		`# TYPE temp gauge`,
+		`temp 1.5`,
+		`# HELP lat_seconds Latency.`,
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{op="get",le="1"} 2`,
+		`lat_seconds_bucket{op="get",le="2"} 3`,
+		`lat_seconds_bucket{op="get",le="+Inf"} 4`,
+		`lat_seconds_sum{op="get"} 12`,
+		`lat_seconds_count{op="get"} 4`,
+		`# HELP odd_total Weird labels.`,
+		`# TYPE odd_total counter`,
+		`odd_total{name="a\"b\\c\n"} 1`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "").Inc()
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "up_total 1") {
+		t.Fatalf("scrape missing counter:\n%s", buf.String())
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp2.StatusCode)
+	}
+}

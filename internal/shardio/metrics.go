@@ -1,0 +1,64 @@
+package shardio
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Streaming-pipeline observability: per-stage span timings for the three
+// streaming operations. Each stripe's trip through a pipeline is timed at
+// each stage —
+//
+//	produce  reading the stripe's bytes (payload chunk or per-disk cells)
+//	work     the coding step (encode / reconstruct / verify)
+//	commit   writing the stripe out in order (disk writers or the sink)
+//
+// — into ecfrm_shardio_stage_seconds{op,stage}. The stage whose histogram
+// carries the time is the pipeline's bottleneck; that is the first thing to
+// look at when streaming throughput disappoints.
+//
+// The hook is package-level because the streaming entry points are free
+// functions: EnableMetrics publishes a bundle atomically, so concurrent
+// pipelines observe either the old bundle or the new one, never a torn one.
+// With no bundle installed every span is a no-op.
+
+// stageBuckets spans 10µs to ~2.6s exponentially: stripe-granularity stages
+// are fast (tens of µs to ms) except when a slow sink or source stalls them.
+var stageBuckets = obs.ExpBuckets(1e-5, 4, 9)
+
+// streamMetrics holds one histogram per (op, stage) pair.
+type streamMetrics struct {
+	hists map[string]*obs.Histogram
+}
+
+var activeMetrics atomic.Pointer[streamMetrics]
+
+// EnableMetrics registers the streaming pipeline's stage histograms in reg
+// and routes all subsequent span timings there. Passing nil disables them.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		activeMetrics.Store(nil)
+		return
+	}
+	m := &streamMetrics{hists: make(map[string]*obs.Histogram)}
+	for _, op := range []string{"encode", "decode", "verify"} {
+		for _, stage := range []string{"produce", "work", "commit"} {
+			m.hists[op+"/"+stage] = reg.Histogram("ecfrm_shardio_stage_seconds",
+				"Per-stripe time in each streaming pipeline stage.",
+				stageBuckets, obs.L("op", op), obs.L("stage", stage))
+		}
+	}
+	activeMetrics.Store(m)
+}
+
+// stageSpan opens a span for one stripe's trip through (op, stage). The
+// zero-value span returned when metrics are off costs two loads and no time
+// syscalls.
+func stageSpan(op, stage string) obs.Span {
+	m := activeMetrics.Load()
+	if m == nil {
+		return obs.Span{}
+	}
+	return obs.StartSpan(m.hists[op+"/"+stage])
+}

@@ -173,14 +173,20 @@ func EncodeStream(scheme *core.Scheme, r io.Reader, dir string, elemSize int, ma
 	err := pipeline(workers,
 		func(emit func(stripeJob) bool) error {
 			for st := 0; ; st++ {
+				// The produce span covers the source read only, not the emit:
+				// blocking in emit is pipeline backpressure, and folding it in
+				// would blame the source for a slow encoder or sink.
+				sp := stageSpan("encode", "produce")
 				buf := payloadBufs.GetShard(stripeBytes)
 				nr, err := io.ReadFull(r, buf)
 				if err == io.EOF && st > 0 {
 					payloadBufs.PutShard(buf)
+					sp.End()
 					return nil
 				}
 				if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 					payloadBufs.PutShard(buf)
+					sp.End()
 					return err
 				}
 				// Zero the padding: a short (or empty) final chunk still
@@ -190,12 +196,14 @@ func EncodeStream(scheme *core.Scheme, r io.Reader, dir string, elemSize int, ma
 				length += int64(nr)
 				stripes++
 				last := err != nil
+				sp.End()
 				if !emit(stripeJob{st: st, payload: buf, cells: make([][]byte, scheme.CellsPerStripe())}) || last {
 					return nil
 				}
 			}
 		},
 		func(j stripeJob) error {
+			defer stageSpan("encode", "work").End()
 			data := make([][]byte, dps)
 			for e := range data {
 				data[e] = j.payload[e*elemSize : (e+1)*elemSize]
@@ -203,6 +211,7 @@ func EncodeStream(scheme *core.Scheme, r io.Reader, dir string, elemSize int, ma
 			return scheme.EncodeStripeInto(&cellBufs, j.cells, data)
 		},
 		func(j stripeJob) error {
+			defer stageSpan("encode", "commit").End()
 			for row := 0; row < lay.Rows(); row++ {
 				for col := 0; col < n; col++ {
 					d := lay.Disk(j.st, col)
@@ -279,7 +288,9 @@ func DecodeStream(scheme *core.Scheme, dir string, w io.Writer, workers int) (in
 	err = pipeline(workers,
 		func(emit func(stripeJob) bool) error {
 			for st := 0; st < man.Stripes; st++ {
+				sp := stageSpan("decode", "produce")
 				cells, err := readStripe(scheme, readers, man, st, &cellBufs)
+				sp.End()
 				if err != nil {
 					return err
 				}
@@ -291,6 +302,7 @@ func DecodeStream(scheme *core.Scheme, dir string, w io.Writer, workers int) (in
 			return nil
 		},
 		func(j stripeJob) error {
+			defer stageSpan("decode", "work").End()
 			if missing == 0 {
 				return nil
 			}
@@ -300,6 +312,7 @@ func DecodeStream(scheme *core.Scheme, dir string, w io.Writer, workers int) (in
 			return nil
 		},
 		func(j stripeJob) error {
+			defer stageSpan("decode", "commit").End()
 			for _, shard := range scheme.DataShards(j.cells) {
 				if remaining <= 0 {
 					break
@@ -357,7 +370,9 @@ func VerifyStream(scheme *core.Scheme, dir string, workers int) error {
 	err = pipeline(workers,
 		func(emit func(stripeJob) bool) error {
 			for st := 0; st < man.Stripes; st++ {
+				sp := stageSpan("verify", "produce")
 				cells, err := readStripe(scheme, readers, man, st, &cellBufs)
+				sp.End()
 				if err != nil {
 					return err
 				}
@@ -369,6 +384,7 @@ func VerifyStream(scheme *core.Scheme, dir string, workers int) error {
 			return nil
 		},
 		func(j stripeJob) error {
+			defer stageSpan("verify", "work").End()
 			ok, err := scheme.VerifyStripe(j.cells)
 			if err != nil {
 				return err
@@ -379,6 +395,7 @@ func VerifyStream(scheme *core.Scheme, dir string, workers int) error {
 			return nil
 		},
 		func(j stripeJob) error {
+			defer stageSpan("verify", "commit").End()
 			cellBufs.PutShards(j.cells)
 			return nil
 		},

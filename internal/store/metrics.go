@@ -1,0 +1,157 @@
+package store
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// maxLoadBuckets are the upper bounds for the per-request max-disk-load
+// histogram. Loads are small integers (elements on the most-loaded disk for
+// one request), so the buckets resolve every value the paper's request sizes
+// (1-20 one-element reads) can produce and coarsen beyond that.
+var maxLoadBuckets = []float64{1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32}
+
+// Metrics is the store's observability bundle: per-disk element I/O
+// counters, the per-request max-disk-load histogram the paper's design
+// minimizes (§III-B), and counters for the fault-handling machinery
+// (retries, degraded replans, heals, epoch invalidations). A nil *Metrics
+// disables everything — every method is nil-safe, so the store's hot paths
+// carry no "is observability on?" branches.
+//
+// Metric names:
+//
+//	ecfrm_disk_element_reads_total{disk}     element reads served per disk
+//	ecfrm_disk_element_writes_total{disk}    element writes per disk
+//	ecfrm_store_reads_total{mode}            completed reads, normal|degraded
+//	ecfrm_store_read_max_disk_load{mode}     histogram of Plan.MaxLoad per read
+//	ecfrm_store_op_retries_total{op}         transient-fault retries, read|write
+//	ecfrm_store_read_replans_total           reads re-planned around unavailable disks
+//	ecfrm_store_heals_total                  corrupt cells rebuilt and rewritten
+//	ecfrm_store_epoch_invalidations_total    mutation-epoch bumps (cache invalidations)
+type Metrics struct {
+	diskReads  []*obs.Counter
+	diskWrites []*obs.Counter
+
+	readsNormal   *obs.Counter
+	readsDegraded *obs.Counter
+	loadNormal    *obs.Histogram
+	loadDegraded  *obs.Histogram
+
+	readRetries  *obs.Counter
+	writeRetries *obs.Counter
+	replans      *obs.Counter
+	heals        *obs.Counter
+	epochInval   *obs.Counter
+}
+
+// NewMetrics registers the store's metric families for a disks-device array
+// in reg and returns the bundle to install with SetMetrics. Registration is
+// idempotent per registry: two stores sharing one registry share series.
+func NewMetrics(reg *obs.Registry, disks int) *Metrics {
+	m := &Metrics{}
+	for d := 0; d < disks; d++ {
+		lbl := obs.L("disk", strconv.Itoa(d))
+		m.diskReads = append(m.diskReads, reg.Counter("ecfrm_disk_element_reads_total",
+			"Element-granularity reads served per disk.", lbl))
+		m.diskWrites = append(m.diskWrites, reg.Counter("ecfrm_disk_element_writes_total",
+			"Element-granularity writes per disk.", lbl))
+	}
+	m.readsNormal = reg.Counter("ecfrm_store_reads_total",
+		"Completed store reads by mode.", obs.L("mode", "normal"))
+	m.readsDegraded = reg.Counter("ecfrm_store_reads_total",
+		"Completed store reads by mode.", obs.L("mode", "degraded"))
+	m.loadNormal = reg.Histogram("ecfrm_store_read_max_disk_load",
+		"Per-request element count on the most-loaded disk (the paper's max-load metric).",
+		maxLoadBuckets, obs.L("mode", "normal"))
+	m.loadDegraded = reg.Histogram("ecfrm_store_read_max_disk_load",
+		"Per-request element count on the most-loaded disk (the paper's max-load metric).",
+		maxLoadBuckets, obs.L("mode", "degraded"))
+	m.readRetries = reg.Counter("ecfrm_store_op_retries_total",
+		"Transient-fault retries by operation.", obs.L("op", "read"))
+	m.writeRetries = reg.Counter("ecfrm_store_op_retries_total",
+		"Transient-fault retries by operation.", obs.L("op", "write"))
+	m.replans = reg.Counter("ecfrm_store_read_replans_total",
+		"Reads re-planned degraded around unavailable devices.")
+	m.heals = reg.Counter("ecfrm_store_heals_total",
+		"Corrupt cells rebuilt from their group and rewritten in place.")
+	m.epochInval = reg.Counter("ecfrm_store_epoch_invalidations_total",
+		"Mutation-epoch bumps; each invalidates decoded-read caches.")
+	return m
+}
+
+// observeRead records one completed read: its mode and its plan's max load.
+func (m *Metrics) observeRead(degraded bool, maxLoad int) {
+	if m == nil {
+		return
+	}
+	if degraded {
+		m.readsDegraded.Inc()
+		m.loadDegraded.Observe(float64(maxLoad))
+	} else {
+		m.readsNormal.Inc()
+		m.loadNormal.Observe(float64(maxLoad))
+	}
+}
+
+// retry records one transient-fault retry on the given path.
+func (m *Metrics) retry(write bool) {
+	if m == nil {
+		return
+	}
+	if write {
+		m.writeRetries.Inc()
+	} else {
+		m.readRetries.Inc()
+	}
+}
+
+// replan records a read falling back to a degraded plan mid-flight.
+func (m *Metrics) replan() {
+	if m != nil {
+		m.replans.Inc()
+	}
+}
+
+// heal records one corrupt cell rebuilt and rewritten.
+func (m *Metrics) heal() {
+	if m != nil {
+		m.heals.Inc()
+	}
+}
+
+// epochBump records one mutation-epoch invalidation.
+func (m *Metrics) epochBump() {
+	if m != nil {
+		m.epochInval.Inc()
+	}
+}
+
+// deviceCounters returns the per-disk counters for device d (nil when the
+// bundle is nil or d is out of the registered range), for wiring into the
+// device itself so its read/write methods account without a store hop.
+func (m *Metrics) deviceCounters(d int) (reads, writes *obs.Counter) {
+	if m == nil || d >= len(m.diskReads) {
+		return nil, nil
+	}
+	return m.diskReads[d], m.diskWrites[d]
+}
+
+// SetMetrics installs (or with nil, removes) the store's metrics bundle and
+// wires every device's I/O counters. Call it before serving traffic;
+// installation takes the exclusive lock.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = m
+	for i, d := range s.devices {
+		d.obsReads, d.obsWrites = m.deviceCounters(i)
+	}
+}
+
+// Metrics returns the installed metrics bundle (nil if none).
+func (s *Store) Metrics() *Metrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obs
+}

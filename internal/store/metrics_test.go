@@ -1,0 +1,160 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// metricsStore builds a store with a fresh registry and bundle installed.
+func metricsStore(t *testing.T) (*Store, *obs.Registry, *Metrics) {
+	t.Helper()
+	s := testStore(t, layout.FormECFRM)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, s.Scheme().N())
+	s.SetMetrics(m)
+	return s, reg, m
+}
+
+func TestMetricsCountIO(t *testing.T) {
+	s, _, m := metricsStore(t)
+	fill(t, s, 3*s.Scheme().DataPerStripe()*s.ElementSize(), 1)
+
+	var writes int64
+	for d := 0; d < s.Scheme().N(); d++ {
+		writes += m.diskWrites[d].Value()
+	}
+	// Three stripes, every cell written once.
+	if want := int64(3 * s.Scheme().CellsPerStripe()); writes != want {
+		t.Fatalf("disk write counters total %d, want %d", writes, want)
+	}
+
+	if _, err := s.ReadAt(0, 5*s.ElementSize()); err != nil {
+		t.Fatal(err)
+	}
+	var reads int64
+	for d := 0; d < s.Scheme().N(); d++ {
+		reads += m.diskReads[d].Value()
+	}
+	if reads != 5 {
+		t.Fatalf("disk read counters total %d, want 5", reads)
+	}
+	if m.readsNormal.Value() != 1 || m.loadNormal.Count() != 1 {
+		t.Fatalf("normal read not observed: reads=%d hist=%d",
+			m.readsNormal.Value(), m.loadNormal.Count())
+	}
+	if m.readsDegraded.Value() != 0 {
+		t.Fatal("no degraded read happened yet")
+	}
+}
+
+func TestMetricsDegradedAndEpoch(t *testing.T) {
+	s, _, m := metricsStore(t)
+	fill(t, s, 2*s.Scheme().DataPerStripe()*s.ElementSize(), 2)
+
+	before := m.epochInval.Value()
+	s.FailDisk(0)
+	if m.epochInval.Value() != before+1 {
+		t.Fatal("FailDisk did not bump the epoch-invalidation counter")
+	}
+	if _, err := s.ReadAt(0, s.Scheme().DataPerStripe()*s.ElementSize()); err != nil {
+		t.Fatal(err)
+	}
+	if m.readsDegraded.Value() != 1 || m.loadDegraded.Count() != 1 {
+		t.Fatalf("degraded read not observed: reads=%d hist=%d",
+			m.readsDegraded.Value(), m.loadDegraded.Count())
+	}
+}
+
+func TestMetricsHeal(t *testing.T) {
+	s, _, m := metricsStore(t)
+	fill(t, s, s.Scheme().DataPerStripe()*s.ElementSize(), 3)
+	if err := s.CorruptCell(0, layout.Pos{Row: 0, Col: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadAt(0, s.ElementSize()); err != nil {
+		t.Fatal(err)
+	}
+	if m.heals.Value() != 1 {
+		t.Fatalf("heals = %d, want 1", m.heals.Value())
+	}
+}
+
+func TestMetricsSurviveRecovery(t *testing.T) {
+	s, _, m := metricsStore(t)
+	fill(t, s, s.Scheme().DataPerStripe()*s.ElementSize(), 4)
+	s.FailDisk(1)
+	if _, err := s.RecoverDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	wrote := m.diskWrites[1].Value()
+	if wrote == 0 {
+		t.Fatal("recovery writes not accounted to the replacement device")
+	}
+	// The replacement keeps feeding the same series on later traffic.
+	if _, err := s.ReadAt(0, s.Scheme().DataPerStripe()*s.ElementSize()); err != nil {
+		t.Fatal(err)
+	}
+	var reads int64
+	for d := 0; d < s.Scheme().N(); d++ {
+		reads += m.diskReads[d].Value()
+	}
+	if reads == 0 {
+		t.Fatal("post-recovery reads not accounted")
+	}
+}
+
+func TestPlanReadMatchesReadAt(t *testing.T) {
+	s, _, _ := metricsStore(t)
+	fill(t, s, 2*s.Scheme().DataPerStripe()*s.ElementSize(), 5)
+
+	plan, err := s.PlanRead(0, 7*s.ElementSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ReadAt(0, 7*s.ElementSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost() != res.Plan.Cost() || plan.MaxLoad() != res.Plan.MaxLoad() {
+		t.Fatalf("PlanRead (cost=%v maxload=%d) disagrees with ReadAt (cost=%v maxload=%d)",
+			plan.Cost(), plan.MaxLoad(), res.Plan.Cost(), res.Plan.MaxLoad())
+	}
+
+	// Degraded planning agrees too.
+	s.FailDisk(2)
+	plan, err = s.PlanRead(0, 7*s.ElementSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.ReadAt(0, 7*s.ElementSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost() != res.Plan.Cost() || plan.MaxLoad() != res.Plan.MaxLoad() {
+		t.Fatal("degraded PlanRead disagrees with ReadAt")
+	}
+
+	if _, err := s.PlanRead(-1, 1); !errors.Is(err, ErrRange) {
+		t.Fatalf("negative offset error = %v, want ErrRange", err)
+	}
+	if _, err := s.PlanRead(0, int(s.NextOffset())+1); !errors.Is(err, ErrRange) {
+		t.Fatalf("over-extent error = %v, want ErrRange", err)
+	}
+}
+
+// TestMetricsNilSafe: a store with no bundle installed takes every hot path
+// without observing anything — the nil-receiver contract.
+func TestMetricsNilSafe(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	fill(t, s, s.Scheme().DataPerStripe()*s.ElementSize(), 6)
+	s.FailDisk(0)
+	if _, err := s.ReadAt(0, s.ElementSize()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RecoverDisk(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // ErrRange is returned for reads outside the written extent.
@@ -102,6 +103,12 @@ type Device struct {
 	// goroutines increment them concurrently.
 	reads  atomic.Int64
 	writes atomic.Int64
+	// obsReads/obsWrites mirror the counts into the store's metrics registry
+	// when one is installed (SetMetrics). Unlike reads/writes they are never
+	// reset: scrape counters are monotonic. Guarded by the store lock for
+	// writes of the pointers; the counters themselves are atomic.
+	obsReads  *obs.Counter
+	obsWrites *obs.Counter
 }
 
 type cellKey struct {
@@ -138,6 +145,7 @@ func (d *Device) write(k cellKey, data []byte) {
 	d.cells[k] = data
 	d.crcs[k] = crc32.Checksum(data, castagnoli)
 	d.writes.Add(1)
+	d.obsWrites.Inc()
 }
 
 func (d *Device) read(k cellKey) ([]byte, error) {
@@ -149,6 +157,7 @@ func (d *Device) read(k cellKey) ([]byte, error) {
 		return nil, fmt.Errorf("store: device %d has no element %v", d.id, k)
 	}
 	d.reads.Add(1)
+	d.obsReads.Inc()
 	if crc32.Checksum(data, castagnoli) != d.crcs[k] {
 		return nil, fmt.Errorf("%w: device %d stripe %d cell (%d,%d)",
 			ErrCorrupt, d.id, k.stripe, k.pos.Row, k.pos.Col)
@@ -175,6 +184,11 @@ type Store struct {
 	// overwrite, fault-plan change). Callers caching decoded reads key them
 	// by this value.
 	epoch atomic.Int64
+
+	// obs, when non-nil, is the metrics bundle every interesting event feeds
+	// (see metrics.go). Guarded by mu like inject: set exclusively, consulted
+	// under either lock mode; the instruments themselves are atomic.
+	obs *Metrics
 
 	// inject, when non-nil, decides a fault for every device operation.
 	// Guarded by mu (set exclusively, consulted under either lock mode).
@@ -252,6 +266,14 @@ func (s *Store) Stripes() int {
 // may be cached until the epoch moves.
 func (s *Store) Epoch() int64 { return s.epoch.Load() }
 
+// bumpEpoch advances the mutation epoch and accounts the invalidation.
+// Caller holds mu (the epoch itself is atomic; the convention keeps bumps
+// tied to the mutation they publish).
+func (s *Store) bumpEpoch() {
+	s.epoch.Add(1)
+	s.obs.epochBump()
+}
+
 // SetFaultInjector installs (or with nil, removes) the fault injector
 // consulted on every device operation. Installing a plan bumps the epoch:
 // a plan can change what reads observe (e.g. corruption behaviour), so any
@@ -260,7 +282,7 @@ func (s *Store) SetFaultInjector(fi FaultInjector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inject = fi
-	s.epoch.Add(1)
+	s.bumpEpoch()
 }
 
 // FaultInjector returns the currently installed fault injector (nil if none).
@@ -326,6 +348,7 @@ func (s *Store) readCell(dev int, k cellKey) ([]byte, error) {
 		if f.Stuck || f.Delay > s.opTimeout {
 			time.Sleep(s.opTimeout)
 			last = fmt.Errorf("%w: device %d read timed out after %v", ErrUnavailable, dev, s.opTimeout)
+			s.obs.retry(false)
 			continue
 		}
 		if f.Delay > 0 {
@@ -333,6 +356,7 @@ func (s *Store) readCell(dev int, k cellKey) ([]byte, error) {
 		}
 		if f.Err != nil {
 			last = fmt.Errorf("%w: device %d: %v", ErrUnavailable, dev, f.Err)
+			s.obs.retry(false)
 			continue
 		}
 		data, err := d.read(k)
@@ -345,6 +369,7 @@ func (s *Store) readCell(dev int, k cellKey) ([]byte, error) {
 			// The device returned bits failing the checksum — a transient
 			// medium mis-read (the stored cell is clean). Retry.
 			last = fmt.Errorf("%w: device %d returned bytes failing checksum", ErrUnavailable, dev)
+			s.obs.retry(false)
 			continue
 		}
 		return data, nil
@@ -371,6 +396,7 @@ func (s *Store) writeGate(dev int) error {
 		if f.Stuck || f.Delay > s.opTimeout {
 			time.Sleep(s.opTimeout)
 			last = fmt.Errorf("%w: device %d write timed out after %v", ErrUnavailable, dev, s.opTimeout)
+			s.obs.retry(true)
 			continue
 		}
 		if f.Delay > 0 {
@@ -378,6 +404,7 @@ func (s *Store) writeGate(dev int) error {
 		}
 		if f.Err != nil {
 			last = fmt.Errorf("%w: device %d: %v", ErrUnavailable, dev, f.Err)
+			s.obs.retry(true)
 			continue
 		}
 		return nil
@@ -468,7 +495,7 @@ func (s *Store) FailDisk(d int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.devices[d].failed = true
-	s.epoch.Add(1)
+	s.bumpEpoch()
 }
 
 // FailDiskWithinTolerance marks device d failed only if the total failure
@@ -491,7 +518,7 @@ func (s *Store) FailDiskWithinTolerance(d int) bool {
 		return false
 	}
 	s.devices[d].failed = true
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return true
 }
 
@@ -551,6 +578,33 @@ func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.readAt(off, length, true)
+}
+
+// PlanRead plans the read of length bytes at offset off — normal or
+// degraded, exactly as ReadAt would plan it — without touching any device.
+// It backs metadata-only requests (HTTP HEAD): the plan carries the read
+// cost and max-disk-load a real read would incur, for free.
+func (s *Store) PlanRead(off int64, length int) (*core.Plan, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("%w: off=%d length=%d", ErrRange, off, length)
+	}
+	sealed := int64(s.stripes) * int64(s.stripeBytes())
+	if off+int64(length) > sealed {
+		return nil, fmt.Errorf("%w: [%d,%d) beyond sealed extent %d", ErrRange, off, off+int64(length), sealed)
+	}
+	if length == 0 {
+		return &core.Plan{}, nil
+	}
+	startElem := int(off / int64(s.elemSize))
+	endElem := int((off + int64(length) - 1) / int64(s.elemSize))
+	count := endElem - startElem + 1
+	failed := s.failedDisksLocked()
+	if len(failed) == 0 {
+		return s.scheme.PlanNormalRead(startElem, count)
+	}
+	return s.scheme.PlanDegradedRead(startElem, count, failed)
 }
 
 // readAt executes one read under whichever lock the caller holds. With
@@ -630,6 +684,7 @@ replan:
 				healed++
 			} else if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrFailed) {
 				unavail[a.Disk] = true
+				s.obs.replan()
 				continue replan
 			}
 			if err != nil {
@@ -654,6 +709,7 @@ replan:
 			out = append(out, shard...)
 		}
 		skip := int(off - int64(startElem)*int64(s.elemSize))
+		s.obs.observeRead(len(failed) > 0, plan.MaxLoad())
 		return &ReadResult{Data: out[skip : skip+length], Plan: plan, Healed: healed}, nil
 	}
 }
@@ -731,7 +787,8 @@ func (s *Store) healCell(stripe int, pos layout.Pos) ([]byte, error) {
 			stripe, pos.Row, pos.Col, err)
 	}
 	s.devices[ownDisk].write(cellKey{stripe, pos}, clean)
-	s.epoch.Add(1)
+	s.obs.heal()
+	s.bumpEpoch()
 	return clean, nil
 }
 
@@ -845,7 +902,7 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 	for _, sw := range order {
 		s.devices[sw.disk].write(sw.k, overlay[sw.k])
 	}
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return nil
 }
 
@@ -872,6 +929,9 @@ func (s *Store) RecoverDisk(d int) (readCost int, err error) {
 	lay := s.scheme.Layout()
 	code := s.scheme.Code()
 	replacement := newDevice(d)
+	// The replacement inherits the failed device's metric series: to the
+	// registry it is the same disk slot.
+	replacement.obsReads, replacement.obsWrites = dev.obsReads, dev.obsWrites
 
 	for stripe := 0; stripe < s.stripes; stripe++ {
 		// Per-stripe read cache: an element fetched for one group's repair
@@ -937,7 +997,7 @@ func (s *Store) RecoverDisk(d int) (readCost int, err error) {
 		}
 	}
 	s.devices[d] = replacement
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return readCost, nil
 }
 
@@ -995,6 +1055,6 @@ func (s *Store) CorruptCell(stripe int, pos layout.Pos) error {
 	for i := range cell {
 		cell[i] ^= 0xa5
 	}
-	s.epoch.Add(1)
+	s.bumpEpoch()
 	return nil
 }

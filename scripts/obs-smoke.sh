@@ -1,0 +1,101 @@
+#!/bin/sh
+# obs-smoke: end-to-end check that a real ecfrmd serves working metrics.
+#
+# Builds the daemon, starts it with -obs on a local port, pushes one object
+# through PUT/GET/HEAD, and asserts the /metrics scrape contains the series
+# the dashboards depend on: per-disk element read counters, the per-request
+# max-disk-load histogram, cache hit/miss counters, and request latency.
+# Exits nonzero (and dumps the daemon log) on any miss.
+set -eu
+
+PORT="${OBS_SMOKE_PORT:-18612}"
+TMP="$(mktemp -d /tmp/ecfrm-obs-smoke-XXXXXX)"
+BIN="$TMP/ecfrmd"
+LOG="$TMP/ecfrmd.log"
+PID=""
+
+cleanup() {
+    status=$?
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ] && [ -f "$LOG" ]; then
+        echo "obs-smoke: FAILED — daemon log:" >&2
+        cat "$LOG" >&2
+    fi
+    rm -rf "$TMP"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+fetch() { # fetch <url-path> [curl args...] — prints the body
+    path="$1"
+    shift
+    curl -fsS "$@" "http://127.0.0.1:$PORT$path"
+}
+
+echo "obs-smoke: building ecfrmd"
+go build -o "$BIN" ./cmd/ecfrmd
+
+echo "obs-smoke: starting on :$PORT"
+"$BIN" -addr "127.0.0.1:$PORT" -obs -obs-interval 1s >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/metrics" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: daemon never came up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Push one object through the full path: PUT, cold GET, warm GET, HEAD.
+head -c 200000 /dev/urandom >"$TMP/payload.bin"
+fetch /objects/smoke -X PUT --data-binary @"$TMP/payload.bin" -o /dev/null
+fetch /objects/smoke -o "$TMP/out.bin"
+cmp -s "$TMP/payload.bin" "$TMP/out.bin" || {
+    echo "obs-smoke: GET body does not match PUT payload" >&2
+    exit 1
+}
+fetch /objects/smoke -o "$TMP/out2.bin" # cache hit
+fetch /objects/smoke -I -o /dev/null    # HEAD: plan-only metadata
+
+SCRAPE="$TMP/metrics.prom"
+fetch /metrics >"$SCRAPE"
+
+want() {
+    if ! grep -q "$1" "$SCRAPE"; then
+        echo "obs-smoke: /metrics missing: $1" >&2
+        echo "--- scrape ---" >&2
+        cat "$SCRAPE" >&2
+        exit 1
+    fi
+}
+want '^ecfrm_disk_element_reads_total{disk="0"} [1-9]'
+want '^ecfrm_disk_element_writes_total{disk="0"} [1-9]'
+want '^ecfrm_store_reads_total{mode="normal"} [1-9]'
+want '^ecfrm_store_read_max_disk_load_bucket{mode="normal",le="+Inf"} [1-9]'
+want '^ecfrm_httpd_cache_misses_total [1-9]'
+want '^ecfrm_httpd_cache_hits_total [1-9]'
+want '^ecfrm_httpd_request_seconds_count{op="get"} [1-9]'
+want '^ecfrm_httpd_request_seconds_count{op="put"} [1-9]'
+want '^ecfrm_httpd_request_seconds_count{op="head"} [1-9]'
+want '^ecfrm_httpd_cached_bytes 200000$'
+
+# -obs also mounts pprof.
+fetch /debug/pprof/cmdline -o /dev/null
+
+# Graceful drain on SIGTERM.
+kill -TERM "$PID"
+wait "$PID"
+PID=""
+grep -q "drained" "$LOG" || {
+    echo "obs-smoke: daemon did not report graceful drain" >&2
+    exit 1
+}
+
+echo "obs-smoke: OK"
