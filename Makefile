@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fuzz-smoke chaos obs-smoke
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke
 
 all: build
 
@@ -55,6 +55,17 @@ readpath-json:
 obs-smoke:
 	./scripts/obs-smoke.sh
 
+# End-to-end fan-out read check against a real daemon under a jittered
+# slow-disk fault plan: hedged fan-out GETs must beat sequential GETs on
+# total and worst-case latency, and the hedge counters must move.
+fanout-smoke:
+	./scripts/fanout-smoke.sh
+
+# The committed fan-out executor numbers (BENCH_fanout.json): sequential vs
+# fan-out vs hedged across the slow-disk and uniform-latency scenarios.
+fanout-json:
+	$(GO) run ./cmd/ecfrmbench -fanout BENCH_fanout.json
+
 # A short fuzz run over the GF kernel equivalence target.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
@@ -68,4 +79,4 @@ chaos:
 	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
 		./internal/faultinject/ ./internal/shardio/
 
-ci: vet race race-io bench-smoke readpath-smoke obs-smoke chaos
+ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke chaos

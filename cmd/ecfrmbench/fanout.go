@@ -1,0 +1,275 @@
+// Fan-out read benchmark mode: -fanout <path> measures the ISSUE's headline
+// claim — under a fault plan that slows one device, a 64-cell normal read
+// through the parallel fan-out executor completes in roughly the *max* of the
+// per-device times instead of their *sum* — and writes BENCH_fanout.json.
+//
+// Three scenarios isolate the three mechanisms:
+//
+//   - one-slow-disk/standard: the slow device's cells sit at consecutive
+//     on-disk offsets, so coalescing alone collapses ~11 cell reads (11 fault
+//     draws) into one run (one draw).
+//   - one-slow-disk/ecfrm: the rotated layout scatters the slow device's
+//     cells into many short runs; hedged reads rebuild each straggling run
+//     from parity-equivalent sources after ~1ms instead of waiting 10ms.
+//   - uniform-2ms: every device is equally slow; the win is pure cross-device
+//     parallelism (max of 9 queues vs the sum of 64 cells).
+//
+// Every read is byte-verified against the original payload, so a fast-but-
+// wrong executor cannot post a score.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/rs"
+	"repro/internal/store"
+)
+
+const (
+	// fanoutElemBytes keeps the read I/O-shaped rather than decode-shaped:
+	// with 4 KiB cells the injected device latency dominates, which is the
+	// regime the executor exists for.
+	fanoutElemBytes = 4 << 10
+	// fanoutReadElems is the ISSUE's 64-cell normal read.
+	fanoutReadElems = 64
+	// fanoutBenchReps per configuration; P50 is the headline number.
+	fanoutBenchReps = 15
+)
+
+type fanoutResult struct {
+	Scenario    string  `json:"scenario"`
+	Executor    string  `json:"executor"` // "sequential" or "fanout"
+	Concurrency int     `json:"concurrency,omitempty"`
+	Hedged      bool    `json:"hedged,omitempty"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	// SpeedupVsSequential is this configuration's P50 speedup over the
+	// sequential executor in the same scenario (1.0 for the baseline row).
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	HedgeFired          int64   `json:"hedge_fired,omitempty"`
+	HedgeWon            int64   `json:"hedge_won,omitempty"`
+}
+
+type fanoutReport struct {
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	Timestamp string         `json:"timestamp"`
+	Scheme    string         `json:"scheme"`
+	ElemBytes int            `json:"elem_bytes"`
+	ReadElems int            `json:"read_elems"`
+	Reps      int            `json:"reps"`
+	Results   []fanoutResult `json:"results"`
+}
+
+// fanoutConfig is one timed executor configuration within a scenario.
+type fanoutConfig struct {
+	name string
+	opts store.ReadOptions
+}
+
+func fanoutConfigs() []fanoutConfig {
+	cfgs := []fanoutConfig{{"sequential", store.ReadOptions{Sequential: true}}}
+	for _, c := range []int{1, 2, 4, 8} {
+		cfgs = append(cfgs, fanoutConfig{
+			fmt.Sprintf("fanout-c%d", c),
+			store.ReadOptions{Concurrency: c},
+		})
+	}
+	// The hedged configuration pins Max to 2ms so a straggler is re-issued
+	// promptly even before the latency ring has quantile coverage; warmup
+	// reads below still populate the ring so the quantile path is exercised.
+	cfgs = append(cfgs, fanoutConfig{
+		"fanout-c8-hedge",
+		store.ReadOptions{Concurrency: 8, Hedge: store.HedgeConfig{
+			Enabled:  true,
+			Quantile: 0.5,
+			Min:      time.Millisecond,
+			Max:      2 * time.Millisecond,
+		}},
+	})
+	return cfgs
+}
+
+// fanoutScenario builds a fresh sealed store for one scenario.
+type fanoutScenario struct {
+	name     string
+	form     layout.Form
+	policies []faultinject.Policy
+	failDisk int // disk to fail before reading, -1 for none
+}
+
+func fanoutScenarios() []fanoutScenario {
+	slow := []faultinject.Policy{{Device: 0, Latency: 10 * time.Millisecond}}
+	uniform := make([]faultinject.Policy, 0, 9)
+	for d := 0; d < 9; d++ {
+		uniform = append(uniform, faultinject.Policy{Device: d, Latency: 2 * time.Millisecond})
+	}
+	return []fanoutScenario{
+		{"one-slow-disk/standard", layout.FormStandard, slow, -1},
+		{"one-slow-disk/ecfrm", layout.FormECFRM, slow, -1},
+		{"uniform-2ms/ecfrm", layout.FormECFRM, uniform, -1},
+		{"degraded-uniform-2ms/ecfrm", layout.FormECFRM, uniform, 0},
+	}
+}
+
+// runFanoutScenario measures every configuration over one store and appends
+// the results to rep.
+func runFanoutScenario(sc fanoutScenario, rep *fanoutReport) error {
+	code, err := rs.New(6, 3)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.NewScheme(code, sc.form)
+	if err != nil {
+		return err
+	}
+	if rep.Scheme == "" {
+		rep.Scheme = scheme.Name()
+	}
+	st, err := store.New(scheme, fanoutElemBytes)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	st.SetMetrics(store.NewMetrics(reg, scheme.N()))
+
+	// Seal a payload comfortably larger than the widest read so the offset
+	// can rotate between reps.
+	payloadElems := 4 * fanoutReadElems
+	payload := make([]byte, payloadElems*fanoutElemBytes)
+	rand.New(rand.NewSource(42)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		return err
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+
+	// Install faults only after sealing: the write path is not under test.
+	st.SetFaultInjector(faultinject.New(faultinject.Plan{Seed: 9, Policies: sc.policies}))
+	if sc.failDisk >= 0 && !st.FailDiskWithinTolerance(sc.failDisk) {
+		return fmt.Errorf("scenario %s: cannot fail disk %d", sc.name, sc.failDisk)
+	}
+
+	// The hedge counters live in the scenario's registry; re-fetching them by
+	// (name, labels) yields the same series the store increments.
+	fired := reg.Counter("ecfrm_store_hedge_total", "", obs.L("outcome", "fired"))
+	won := reg.Counter("ecfrm_store_hedge_total", "", obs.L("outcome", "won"))
+
+	length := fanoutReadElems * fanoutElemBytes
+	readOnce := func(opts store.ReadOptions, off int64) (time.Duration, error) {
+		start := time.Now()
+		res, err := st.ReadAtCtx(context.Background(), off, length, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(res.Data, payload[off:off+int64(length)]) {
+			return 0, fmt.Errorf("payload mismatch at offset %d", off)
+		}
+		return elapsed, nil
+	}
+	offAt := func(i int) int64 {
+		return int64(((i * 8) % (payloadElems - fanoutReadElems)) * fanoutElemBytes)
+	}
+
+	// Warmup: populate buffer pools and the hedge latency ring before any
+	// configuration is timed.
+	for i := 0; i < 10; i++ {
+		if _, err := readOnce(store.ReadOptions{}, offAt(i)); err != nil {
+			return fmt.Errorf("scenario %s warmup: %w", sc.name, err)
+		}
+	}
+
+	var seqP50 time.Duration
+	for _, cfg := range fanoutConfigs() {
+		firedBefore, wonBefore := fired.Value(), won.Value()
+		lats := make([]time.Duration, 0, fanoutBenchReps)
+		for i := 0; i < fanoutBenchReps; i++ {
+			d, err := readOnce(cfg.opts, offAt(i))
+			if err != nil {
+				return fmt.Errorf("scenario %s %s: %w", sc.name, cfg.name, err)
+			}
+			lats = append(lats, d)
+		}
+		sort.Slice(lats, func(x, y int) bool { return lats[x] < lats[y] })
+		p50 := lats[len(lats)/2]
+		p99 := lats[(len(lats)*99)/100]
+		if cfg.opts.Sequential {
+			seqP50 = p50
+		}
+		speedup := 1.0
+		if !cfg.opts.Sequential && p50 > 0 {
+			speedup = float64(seqP50) / float64(p50)
+		}
+		r := fanoutResult{
+			Scenario:            sc.name,
+			Executor:            "fanout",
+			Concurrency:         cfg.opts.Concurrency,
+			Hedged:              cfg.opts.Hedge.Enabled,
+			P50Ms:               float64(p50) / 1e6,
+			P99Ms:               float64(p99) / 1e6,
+			SpeedupVsSequential: speedup,
+			HedgeFired:          fired.Value() - firedBefore,
+			HedgeWon:            won.Value() - wonBefore,
+		}
+		if cfg.opts.Sequential {
+			r.Executor = "sequential"
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-28s %-16s %9.2f %9.2f %8.1fx %6d %6d\n",
+			sc.name, cfg.name, r.P50Ms, r.P99Ms, r.SpeedupVsSequential, r.HedgeFired, r.HedgeWon)
+	}
+	return nil
+}
+
+// runFanoutBench runs every scenario and writes the JSON report to path.
+func runFanoutBench(path string) error {
+	rep := fanoutReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		ElemBytes: fanoutElemBytes,
+		ReadElems: fanoutReadElems,
+		Reps:      fanoutBenchReps,
+	}
+	fmt.Printf("fan-out read sweep: %d-cell reads, %d KiB elements, %d reps, %d CPU(s)\n",
+		fanoutReadElems, fanoutElemBytes>>10, fanoutBenchReps, rep.CPUs)
+	fmt.Printf("%-28s %-16s %9s %9s %9s %6s %6s\n",
+		"scenario", "config", "p50 ms", "p99 ms", "speedup", "hedged", "won")
+	for _, sc := range fanoutScenarios() {
+		if err := runFanoutScenario(sc, &rep); err != nil {
+			return err
+		}
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

@@ -41,6 +41,7 @@ func main() {
 		kernels     = flag.String("kernels", "", "run the GF kernel microbenchmark and write JSON to this path (e.g. BENCH_kernels.json), then exit")
 		readpath    = flag.String("readpath", "", "run the streaming-vs-buffered shardio benchmark and write JSON to this path (e.g. BENCH_readpath.json), then exit")
 		readpathMB  = flag.Int64("readpath-bytes", 0, "readpath payload size in bytes (0 = 256 MiB)")
+		fanoutOut   = flag.String("fanout", "", "run the fan-out read executor benchmark and write JSON to this path (e.g. BENCH_fanout.json), then exit")
 		parallel    = flag.Int("parallel", 0, "measure figure (code, form) cells across this many workers; results are bit-identical to sequential")
 	)
 	flag.Parse()
@@ -55,6 +56,13 @@ func main() {
 	if *readpath != "" {
 		if err := runReadpathBench(*readpath, *readpathMB); err != nil {
 			fmt.Fprintln(os.Stderr, "readpath:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fanoutOut != "" {
+		if err := runFanoutBench(*fanoutOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fanout:", err)
 			os.Exit(1)
 		}
 		return

@@ -29,6 +29,14 @@
 //	curl localhost:8080/metrics
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=5
 //
+// Read execution: by default GETs run through the parallel fan-out executor
+// (per-device coalesced runs, bounded worker pool). -fanout=false restores
+// the sequential executor; -read-concurrency bounds the per-read worker
+// count; -hedge enables speculative re-reads of straggling devices after a
+// -hedge-quantile latency delay (clamped below by -hedge-min). Individual
+// GETs can override with ?sequential=, ?concurrency=, ?hedge= and bypass the
+// cache with ?nocache=1.
+//
 // The daemon shuts down gracefully: SIGINT/SIGTERM stops accepting new
 // connections and drains in-flight requests for up to 10 seconds.
 package main
@@ -68,6 +76,12 @@ func main() {
 		faults   = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
 		obsOn    = flag.Bool("obs", false, "enable pprof endpoints and the periodic load-imbalance log line")
 		obsEvery = flag.Duration("obs-interval", 10*time.Second, "load-imbalance log interval (with -obs)")
+
+		fanout   = flag.Bool("fanout", true, "serve reads through the parallel fan-out executor (false = sequential)")
+		readConc = flag.Int("read-concurrency", 0, "max devices served concurrently per read (0 = one worker per device)")
+		hedge    = flag.Bool("hedge", false, "hedge straggling device reads from parity-equivalent sources")
+		hedgeQ   = flag.Float64("hedge-quantile", 0.9, "latency quantile after which a straggler is hedged")
+		hedgeMin = flag.Duration("hedge-min", time.Millisecond, "lower clamp on the hedge delay")
 	)
 	flag.Parse()
 
@@ -109,6 +123,15 @@ func main() {
 		log.Printf("fault plan %s installed: seed %d, %d device policies",
 			*faults, plan.Seed, len(plan.Policies))
 	}
+	st.SetReadOptions(store.ReadOptions{
+		Sequential:  !*fanout,
+		Concurrency: *readConc,
+		Hedge: store.HedgeConfig{
+			Enabled:  *hedge,
+			Quantile: *hedgeQ,
+			Min:      *hedgeMin,
+		},
+	})
 	reg := obs.NewRegistry()
 	handler := httpd.NewServerWith(st, httpd.Config{Registry: reg, EnablePprof: *obsOn})
 

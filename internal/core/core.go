@@ -483,6 +483,11 @@ type planner struct {
 	reads  []Access
 	loads  []int
 	failed map[int]bool
+	// bias, when non-nil, is an external per-disk load offset (e.g. live
+	// queue depth) added to the planned load when recovery-set options are
+	// compared. It shifts which survivors are chosen without ever appearing
+	// in the resulting Plan.Loads.
+	bias []int
 }
 
 func newPlanner(s *Scheme, failed []int) *planner {
@@ -564,8 +569,23 @@ func (s *Scheme) PlanDegradedRead(start, count int, failed []int) (*Plan, error)
 // PlanDegradedReadPolicy is PlanDegradedRead with an explicit recovery-set
 // selection policy.
 func (s *Scheme) PlanDegradedReadPolicy(start, count int, failed []int, policy RecoveryPolicy) (*Plan, error) {
+	return s.PlanDegradedReadBiased(start, count, failed, policy, nil)
+}
+
+// PlanDegradedReadBiased is PlanDegradedReadPolicy with an external per-disk
+// load bias: bias[d] (typically the disk's live queue depth) is added to
+// disk d's planned load whenever candidate recovery sets are compared, so a
+// momentarily busy disk loses ties it would otherwise win. A nil bias is the
+// unbiased planner; a non-nil bias must have one entry per disk. The bias
+// influences only which survivors are selected — Plan.Loads still reports
+// the plan's own element counts — and any recovery set produces the same
+// decoded bytes, so biased and unbiased plans are byte-equivalent to execute.
+func (s *Scheme) PlanDegradedReadBiased(start, count int, failed []int, policy RecoveryPolicy, bias []int) (*Plan, error) {
 	if start < 0 || count <= 0 {
 		return nil, fmt.Errorf("%w: start=%d count=%d", ErrBadRequest, start, count)
+	}
+	if bias != nil && len(bias) != s.N() {
+		return nil, fmt.Errorf("%w: bias has %d entries for %d disks", ErrBadRequest, len(bias), s.N())
 	}
 	for _, d := range failed {
 		if d < 0 || d >= s.N() {
@@ -573,6 +593,7 @@ func (s *Scheme) PlanDegradedReadPolicy(start, count int, failed []int, policy R
 		}
 	}
 	pl := newPlanner(s, failed)
+	pl.bias = bias
 	dps := s.DataPerStripe()
 
 	// Pass 1: direct reads for elements on surviving disks.
@@ -653,8 +674,12 @@ func (s *Scheme) planRebuild(pl *planner, stripe, g, t int, policy RecoveryPolic
 		}
 		maxLoad := 0
 		for d, l := range pl.loads {
-			if l+extra[d] > maxLoad {
-				maxLoad = l + extra[d]
+			load := l + extra[d]
+			if pl.bias != nil {
+				load += pl.bias[d]
+			}
+			if load > maxLoad {
+				maxLoad = load
 			}
 		}
 		cand := &option{accesses, maxLoad, newReads, order}

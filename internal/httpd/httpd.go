@@ -7,6 +7,10 @@
 //
 //	PUT  /objects/{name}         store the request body as an object
 //	GET  /objects/{name}         read it back (degraded reads transparent)
+//	                             ?sequential=1     use the sequential executor
+//	                             ?concurrency=N    bound fan-out worker count
+//	                             ?hedge=1|0        enable/disable hedged reads
+//	                             ?nocache=1        bypass the decoded cache
 //	HEAD /objects/{name}         metadata only: Content-Length, X-Read-Cost,
 //	                             X-Max-Disk-Load from the plan — no decode
 //	GET  /metrics                Prometheus text exposition (see internal/obs)
@@ -38,6 +42,7 @@
 package httpd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -264,13 +269,43 @@ func (s *Server) lookup(name string) (*object, bool) {
 	return obj, ok
 }
 
-func (s *Server) getObject(w http.ResponseWriter, _ *http.Request, name string) {
+// parseReadOptions derives per-request executor options from query
+// parameters, starting from the store's installed defaults. It reports
+// whether the request also asked to bypass the decoded-payload cache.
+func (s *Server) parseReadOptions(r *http.Request) (opts store.ReadOptions, nocache bool) {
+	opts = s.store.ReadDefaults()
+	q := r.URL.Query()
+	if v := q.Get("sequential"); v != "" {
+		if b, err := strconv.ParseBool(v); err == nil {
+			opts.Sequential = b
+		}
+	}
+	if v := q.Get("concurrency"); v != "" {
+		if c, err := strconv.Atoi(v); err == nil && c > 0 {
+			opts.Concurrency = c
+		}
+	}
+	if v := q.Get("hedge"); v != "" {
+		if b, err := strconv.ParseBool(v); err == nil {
+			opts.Hedge.Enabled = b
+		}
+	}
+	if v := q.Get("nocache"); v != "" {
+		if b, err := strconv.ParseBool(v); err == nil {
+			nocache = b
+		}
+	}
+	return opts, nocache
+}
+
+func (s *Server) getObject(w http.ResponseWriter, r *http.Request, name string) {
 	obj, ok := s.lookup(name)
 	if !ok {
 		http.Error(w, "no such object", http.StatusNotFound)
 		return
 	}
-	data, cost, maxLoad, err := s.readObject(obj)
+	opts, nocache := s.parseReadOptions(r)
+	data, cost, maxLoad, err := s.readObject(r.Context(), obj, opts, nocache)
 	if err != nil {
 		// Both flavors of degradation are availability failures, but
 		// exhausted retries against slow/erroring devices are transient:
@@ -312,29 +347,33 @@ func (s *Server) headObject(w http.ResponseWriter, _ *http.Request, name string)
 // readObject returns the object's decoded payload, serving from the
 // epoch-tagged cache when valid and filling it otherwise. The per-object
 // mutex is held only for the decode, never while writing the response, and
-// cached payloads are immutable once published.
-func (s *Server) readObject(obj *object) ([]byte, float64, int, error) {
+// cached payloads are immutable once published. The context cancels device
+// waits when the client disconnects; nocache requests neither consult nor
+// fill the cache (latency benchmarking must hit the executor every time).
+func (s *Server) readObject(ctx context.Context, obj *object, opts store.ReadOptions, nocache bool) ([]byte, float64, int, error) {
 	obj.mu.Lock()
 	defer obj.mu.Unlock()
 	epoch := s.store.Epoch()
 	if c := obj.cache; c != nil {
-		if c.epoch == epoch {
+		if c.epoch == epoch && !nocache {
 			s.cacheHits.Inc()
 			return c.data, c.cost, c.maxLoad, nil
 		}
-		// Stale: drop it and release its budget before re-reading.
-		s.cacheBytes.Add(-int64(len(c.data)))
-		obj.cache = nil
+		if c.epoch != epoch {
+			// Stale: drop it and release its budget before re-reading.
+			s.cacheBytes.Add(-int64(len(c.data)))
+			obj.cache = nil
+		}
 	}
 	s.cacheMisses.Inc()
-	res, err := s.store.ReadAt(obj.meta.Off, obj.meta.Size)
+	res, err := s.store.ReadAtCtx(ctx, obj.meta.Off, obj.meta.Size, opts)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	cost, maxLoad := res.Plan.Cost(), res.Plan.MaxLoad()
 	// Cache small objects while the budget lasts. A healing read bumps the
 	// epoch itself, so re-check: only results still current are cacheable.
-	if obj.meta.Size <= maxCachedObjectBytes && s.store.Epoch() == epoch && res.Healed == 0 &&
+	if !nocache && obj.meta.Size <= maxCachedObjectBytes && s.store.Epoch() == epoch && res.Healed == 0 &&
 		s.cacheBytes.Load()+int64(len(res.Data)) <= cacheBudgetBytes {
 		obj.cache = &cachedRead{epoch: epoch, data: res.Data, cost: cost, maxLoad: maxLoad}
 		s.cacheBytes.Add(int64(len(res.Data)))

@@ -420,23 +420,43 @@ func VerifyStream(scheme *core.Scheme, dir string, workers int) error {
 // drawn from bufs, leaving nil cells for missing disks. Disk files store
 // cells in stripe/row order, so consuming them stripe by stripe keeps every
 // reader sequential.
+//
+// Devices are read concurrently — the fan-out counterpart of the store's
+// read executor: each device's rows land in distinct cell slots and each
+// reader is touched only by its own goroutine (readStripe has a single
+// caller at a time, so per-reader consumption stays sequential). On failure
+// the lowest-numbered device's error is reported and every drawn buffer is
+// recycled.
 func readStripe(scheme *core.Scheme, readers []*bufio.Reader, man Manifest, st int, bufs *core.Buffers) ([][]byte, error) {
 	lay := scheme.Layout()
 	n := scheme.N()
 	cells := make([][]byte, scheme.CellsPerStripe())
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for d := 0; d < n; d++ {
 		if readers[d] == nil {
 			continue
 		}
-		col := lay.Col(st, d)
-		for row := 0; row < lay.Rows(); row++ {
-			cell := bufs.GetShard(man.ElemSize)
-			if _, err := io.ReadFull(readers[d], cell); err != nil {
-				bufs.PutShard(cell)
-				bufs.PutShards(cells)
-				return nil, fmt.Errorf("shardio: disk %d stripe %d: %w", d, st, err)
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			col := lay.Col(st, d)
+			for row := 0; row < lay.Rows(); row++ {
+				cell := bufs.GetShard(man.ElemSize)
+				if _, err := io.ReadFull(readers[d], cell); err != nil {
+					bufs.PutShard(cell)
+					errs[d] = err
+					return
+				}
+				cells[row*n+col] = cell
 			}
-			cells[row*n+col] = cell
+		}(d)
+	}
+	wg.Wait()
+	for d, err := range errs {
+		if err != nil {
+			bufs.PutShards(cells)
+			return nil, fmt.Errorf("shardio: disk %d stripe %d: %w", d, st, err)
 		}
 	}
 	return cells, nil

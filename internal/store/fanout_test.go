@@ -1,0 +1,422 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/codes"
+	"repro/internal/core"
+	"repro/internal/crs"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/obs"
+	"repro/internal/rs"
+)
+
+// fanoutGrid is the {RS, LRC, CRS} × {standard, rotated, ecfrm} sweep the
+// fan-out property tests cover.
+func fanoutGrid(t testing.TB) map[string]*core.Scheme {
+	t.Helper()
+	cells := make(map[string]*core.Scheme)
+	for cname, c := range map[string]codes.Code{
+		"rs":  rs.Must(6, 3),
+		"lrc": lrc.Must(6, 2, 2),
+		"crs": crs.Must(6, 3),
+	} {
+		for _, form := range []layout.Form{layout.FormStandard, layout.FormRotated, layout.FormECFRM} {
+			cells[fmt.Sprintf("%s-%s", cname, form)] = core.MustScheme(c, form)
+		}
+	}
+	return cells
+}
+
+// fanoutLeakCheck asserts the test leaves no goroutines behind, giving
+// hedged stragglers a grace window to drain.
+func fanoutLeakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+	})
+}
+
+// TestFanoutMatchesSequentialProperty is the satellite byte-identity
+// property: across every code×layout cell, with random in-tolerance disk
+// failures or random corrupt cells, the fan-out executor (inline heuristic,
+// forced threading, and hedged) returns exactly the bytes the sequential
+// executor returns — which are exactly the payload's. Runs under -race via
+// `make race-io`.
+func TestFanoutMatchesSequentialProperty(t *testing.T) {
+	fanoutLeakCheck(t)
+	optsList := []ReadOptions{
+		{Sequential: true},
+		{}, // fan-out defaults: inline heuristic decides
+		{Concurrency: 2},
+		{Concurrency: 8},
+		{Concurrency: 8, Hedge: HedgeConfig{Enabled: true, Quantile: 0.9, Min: 5 * time.Millisecond}},
+	}
+	for name, scheme := range fanoutGrid(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(500))
+			for trial := 0; trial < 6; trial++ {
+				st := MustNew(scheme, 64)
+				st.SetRetryPolicy(200*time.Microsecond, 2)
+				payload := make([]byte, 4*scheme.DataPerStripe()*64)
+				rng.Read(payload)
+				if err := st.Append(payload); err != nil {
+					t.Fatal(err)
+				}
+				if trial%2 == 0 {
+					// Failure trial: knock out a random set of disks, never
+					// past tolerance.
+					for i := 0; i < rng.Intn(scheme.FaultTolerance()+1); i++ {
+						st.FailDiskWithinTolerance(rng.Intn(scheme.N()))
+					}
+				} else {
+					// Corruption trial (disks all healthy, so heals always
+					// stay within tolerance).
+					pos := scheme.Layout().DataPos(rng.Intn(scheme.DataPerStripe()))
+					if err := st.CorruptCell(rng.Intn(st.Stripes()), pos); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for r := 0; r < 8; r++ {
+					off := rng.Intn(len(payload) - 1)
+					ln := 1 + rng.Intn(len(payload)-off)
+					opts := optsList[r%len(optsList)]
+					res, err := st.ReadAtCtx(context.Background(), int64(off), ln, opts)
+					if err != nil {
+						t.Fatalf("trial %d read %d opts %+v: %v", trial, r, opts, err)
+					}
+					if !bytes.Equal(res.Data, payload[off:off+ln]) {
+						t.Fatalf("trial %d read %d opts %+v: wrong bytes at [%d,%d)",
+							trial, r, opts, off, off+ln)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFanoutConcurrentSharedStore hammers one store from many goroutines
+// mixing executors while a device persistently errors (forcing replans and
+// degraded decodes on the shared buffer arena). Any double-recycled buffer
+// would alias two readers' shards and surface as wrong bytes or a race.
+func TestFanoutConcurrentSharedStore(t *testing.T) {
+	fanoutLeakCheck(t)
+	sch := core.MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	st := MustNew(sch, 256)
+	st.SetRetryPolicy(200*time.Microsecond, 1)
+	payload := make([]byte, 6*sch.DataPerStripe()*256)
+	rand.New(rand.NewSource(501)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	st.SetFaultInjector(stubInjector{read: onlyDev(2, Fault{Err: errors.New("io error")})})
+
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(600 + g)))
+			opts := ReadOptions{Concurrency: 4}
+			if g%2 == 0 {
+				opts = ReadOptions{Sequential: true}
+			}
+			for i := 0; i < 40; i++ {
+				off := rng.Intn(len(payload) - 1)
+				ln := 1 + rng.Intn(2048)
+				if off+ln > len(payload) {
+					ln = len(payload) - off
+				}
+				res, err := st.ReadAtCtx(context.Background(), int64(off), ln, opts)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if !bytes.Equal(res.Data, payload[off:off+ln]) {
+					errs <- fmt.Errorf("reader %d: wrong bytes at [%d,%d)", g, off, off+ln)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFanoutBoundedAllocs is the satellite alloc-regression gate: on the
+// fan-out path the per-stripe cell containers and decoded shards come from
+// pools, so steady-state allocations per read are a small constant — they
+// must not scale with the number of cells fetched. (The result buffer, plan,
+// and ReadResult are necessarily fresh per call.)
+func TestFanoutBoundedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector, so alloc counts are meaningless")
+	}
+	sch := core.MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	st := MustNew(sch, 4096)
+	payload := make([]byte, 4*sch.DataPerStripe()*4096)
+	rand.New(rand.NewSource(502)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(name string, length int, opts ReadOptions) float64 {
+		t.Helper()
+		// Warm the pools.
+		if _, err := st.ReadAtCtx(context.Background(), 0, length, opts); err != nil {
+			t.Fatalf("%s warmup: %v", name, err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := st.ReadAtCtx(context.Background(), 0, length, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	small := measure("small", st.ElementSize(), ReadOptions{})
+	large := measure("large", 4*sch.DataPerStripe()*st.ElementSize(), ReadOptions{})
+	if small > 40 {
+		t.Errorf("1-element fan-out read: %v allocs/op, want <= 40", small)
+	}
+	// 24 data elements across 4 stripes: if per-cell or per-stripe slices
+	// were still allocated per request this would blow far past the bound.
+	if large > small+60 {
+		t.Errorf("24-element fan-out read: %v allocs/op vs %v for 1 element — per-cell allocation crept back",
+			large, small)
+	}
+
+	// Degraded reads decode lost shards; those buffers must come from (and
+	// return to) the arena, so the fan-out executor adds only a small
+	// constant over the sequential one on the identical workload (the
+	// planner's own allocations dominate both and are out of scope here).
+	st.FailDiskWithinTolerance(0)
+	degSeq := measure("degraded-seq", 4*sch.DataPerStripe()*st.ElementSize(), ReadOptions{Sequential: true})
+	degFan := measure("degraded-fanout", 4*sch.DataPerStripe()*st.ElementSize(), ReadOptions{})
+	if degFan > degSeq+60 {
+		t.Errorf("degraded fan-out read: %v allocs/op vs %v sequential — decoded shards are not pooled",
+			degFan, degSeq)
+	}
+}
+
+// TestFanoutReplanRecyclesBuffers is the satellite bugfix regression: when a
+// pass discovers an unavailable device and replans, every already-fetched
+// container must be recycled exactly once before the retry. A leak would
+// grow allocations per replanning read; a double-put would corrupt the pool
+// and surface as wrong bytes in the property tests. Here we count container
+// pool traffic directly via a replan-heavy workload.
+func TestFanoutReplanRecyclesBuffers(t *testing.T) {
+	sch := core.MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	st := MustNew(sch, 64)
+	st.SetRetryPolicy(200*time.Microsecond, 1)
+	payload := make([]byte, 4*sch.DataPerStripe()*64)
+	rand.New(rand.NewSource(503)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	// Device 1 always errors: every read plans normally, fails, replans
+	// degraded around it — exercising the recycle-before-continue path.
+	st.SetFaultInjector(stubInjector{read: onlyDev(1, Fault{Err: errors.New("io error")})})
+	for i := 0; i < 30; i++ {
+		res, err := st.ReadAtCtx(context.Background(), 0, len(payload), ReadOptions{Concurrency: 4})
+		if err != nil {
+			t.Fatalf("replanning read %d: %v", i, err)
+		}
+		if !bytes.Equal(res.Data, payload) {
+			t.Fatalf("replanning read %d returned wrong bytes", i)
+		}
+	}
+	if st.Metrics() != nil {
+		t.Fatal("test assumes no metrics installed")
+	}
+}
+
+// TestFanoutStuckOpCancellable is the satellite fault-injection-safety test:
+// a stuck-op fault sleeping toward the op timeout must be cut short by
+// context cancellation, and the read must return promptly with the context's
+// error — no goroutine parked in a sleep it cannot leave.
+func TestFanoutStuckOpCancellable(t *testing.T) {
+	fanoutLeakCheck(t)
+	sch := core.MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	st := MustNew(sch, 64)
+	st.SetRetryPolicy(5*time.Second, 0) // stuck op would sleep 5s uncancelled
+	payload := make([]byte, sch.DataPerStripe()*64)
+	rand.New(rand.NewSource(504)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	st.SetFaultInjector(stubInjector{read: func(int) Fault { return Fault{Stuck: true} }})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := st.ReadAtCtx(ctx, 0, len(payload), ReadOptions{Concurrency: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v; stuck-op sleep is not cancellable", elapsed)
+	}
+}
+
+// TestHedgeBeatsStuckDevice: with one device injected to straggle far past
+// the hedge delay, a hedged fan-out read must rebuild the straggler's cells
+// from a parity-equivalent recovery set and finish in hedge time, not
+// straggler time — with correct bytes, fired/won counters moving, and the
+// cancelled primary joined before return.
+func TestHedgeBeatsStuckDevice(t *testing.T) {
+	fanoutLeakCheck(t)
+	sch := core.MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	st := MustNew(sch, 4096)
+	st.SetRetryPolicy(2*time.Second, 0)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, sch.N())
+	st.SetMetrics(m)
+	payload := make([]byte, 2*sch.DataPerStripe()*4096)
+	rand.New(rand.NewSource(505)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	st.SetFaultInjector(stubInjector{read: onlyDev(0, Fault{Delay: 400 * time.Millisecond})})
+
+	opts := ReadOptions{
+		Concurrency: 8,
+		Hedge:       HedgeConfig{Enabled: true, Quantile: 0.5, Min: time.Millisecond, Max: 20 * time.Millisecond},
+	}
+	start := time.Now()
+	res, err := st.ReadAtCtx(context.Background(), 0, len(payload), opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatal("hedged read returned wrong bytes")
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("hedged read took %v; the hedge did not beat the 400ms straggler", elapsed)
+	}
+	if m.hedgeFired.Value() == 0 {
+		t.Fatal("hedge fired counter did not move")
+	}
+	if m.hedgeWon.Value() == 0 {
+		t.Fatal("hedge won counter did not move")
+	}
+}
+
+// TestHedgeStragglersJoinBeforeReturn: a hedged read whose primary is stuck
+// must not leave the primary goroutine running after ReadAtCtx returns —
+// the loser is cancelled and joined, so the leak check sees a quiet world.
+func TestHedgeStragglersJoinBeforeReturn(t *testing.T) {
+	fanoutLeakCheck(t)
+	sch := core.MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	st := MustNew(sch, 4096)
+	st.SetRetryPolicy(10*time.Second, 0) // an unjoined stuck primary would outlive the test
+	payload := make([]byte, sch.DataPerStripe()*4096)
+	rand.New(rand.NewSource(506)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	st.SetFaultInjector(stubInjector{read: onlyDev(3, Fault{Stuck: true})})
+
+	opts := ReadOptions{
+		Concurrency: 8,
+		Hedge:       HedgeConfig{Enabled: true, Min: time.Millisecond, Max: 10 * time.Millisecond},
+	}
+	start := time.Now()
+	res, err := st.ReadAtCtx(context.Background(), 0, len(payload), opts)
+	if err != nil {
+		t.Fatalf("hedged read around stuck device: %v", err)
+	}
+	if !bytes.Equal(res.Data, payload) {
+		t.Fatal("hedged read returned wrong bytes")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("read took %v; stuck primary was not cancelled", elapsed)
+	}
+}
+
+// TestFanoutCoalescing: run construction merges same-device cells at
+// adjacent on-disk offsets. With the standard layout (one row per stripe) a
+// multi-stripe read collapses to exactly one run per device; with EC-FRM's
+// rotated multi-row stripes, runs never span an offset gap.
+func TestFanoutCoalescing(t *testing.T) {
+	sch := core.MustScheme(rs.Must(6, 3), layout.FormStandard)
+	st := MustNew(sch, 64)
+	payload := make([]byte, 5*sch.DataPerStripe()*64)
+	rand.New(rand.NewSource(507)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sch.PlanNormalRead(0, 5*sch.DataPerStripe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := buildRuns(sch, plan.Reads)
+	for _, q := range queues {
+		if len(q.runs) != 1 {
+			t.Fatalf("standard layout: device %d got %d runs, want 1 coalesced run", q.dev, len(q.runs))
+		}
+		for _, run := range q.runs {
+			for i := 1; i < len(run.slots); i++ {
+				if run.slots[i].off != run.slots[i-1].off+1 {
+					t.Fatalf("device %d: run has offset gap %d -> %d",
+						q.dev, run.slots[i-1].off, run.slots[i].off)
+				}
+			}
+		}
+	}
+
+	ecfrm := core.MustScheme(rs.Must(6, 3), layout.FormECFRM)
+	plan, err = ecfrm.PlanNormalRead(0, 2*ecfrm.DataPerStripe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range buildRuns(ecfrm, plan.Reads) {
+		for _, run := range q.runs {
+			for i := 1; i < len(run.slots); i++ {
+				if run.slots[i].off != run.slots[i-1].off+1 {
+					t.Fatalf("ecfrm: device %d run has offset gap %d -> %d",
+						q.dev, run.slots[i-1].off, run.slots[i].off)
+				}
+			}
+		}
+	}
+}
+
+// TestReadAtCtxRespectsSealedExtent: the fan-out range validation matches
+// the sequential executor's contract.
+func TestReadAtCtxRespectsSealedExtent(t *testing.T) {
+	st := testStore(t, layout.FormECFRM)
+	fill(t, st, 1000, 508)
+	sealed := int64(st.Stripes()) * int64(st.Scheme().DataPerStripe()*st.ElementSize())
+	if _, err := st.ReadAtCtx(context.Background(), sealed-1, 2, ReadOptions{}); !errors.Is(err, ErrRange) {
+		t.Fatalf("read past sealed extent: err = %v, want ErrRange", err)
+	}
+	if _, err := st.ReadAtCtx(context.Background(), -1, 1, ReadOptions{}); !errors.Is(err, ErrRange) {
+		t.Fatalf("negative offset: err = %v, want ErrRange", err)
+	}
+	res, err := st.ReadAtCtx(context.Background(), 0, 0, ReadOptions{})
+	if err != nil || len(res.Data) != 0 {
+		t.Fatalf("zero-length read = (%v, %v), want empty success", res, err)
+	}
+}

@@ -30,8 +30,9 @@ var maxLoadBuckets = []float64{1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32}
 //	ecfrm_store_heals_total                  corrupt cells rebuilt and rewritten
 //	ecfrm_store_epoch_invalidations_total    mutation-epoch bumps (cache invalidations)
 type Metrics struct {
-	diskReads  []*obs.Counter
-	diskWrites []*obs.Counter
+	diskReads    []*obs.Counter
+	diskWrites   []*obs.Counter
+	diskInflight []*obs.Gauge
 
 	readsNormal   *obs.Counter
 	readsDegraded *obs.Counter
@@ -43,6 +44,11 @@ type Metrics struct {
 	replans      *obs.Counter
 	heals        *obs.Counter
 	epochInval   *obs.Counter
+
+	hedgeFired     *obs.Counter
+	hedgeWon       *obs.Counter
+	hedgeCancelled *obs.Counter
+	runBytes       *obs.Histogram
 }
 
 // NewMetrics registers the store's metric families for a disks-device array
@@ -56,6 +62,8 @@ func NewMetrics(reg *obs.Registry, disks int) *Metrics {
 			"Element-granularity reads served per disk.", lbl))
 		m.diskWrites = append(m.diskWrites, reg.Counter("ecfrm_disk_element_writes_total",
 			"Element-granularity writes per disk.", lbl))
+		m.diskInflight = append(m.diskInflight, reg.Gauge("ecfrm_disk_inflight_runs",
+			"Fan-out runs currently in flight per disk (the load-aware planner's bias signal).", lbl))
 	}
 	m.readsNormal = reg.Counter("ecfrm_store_reads_total",
 		"Completed store reads by mode.", obs.L("mode", "normal"))
@@ -77,6 +85,18 @@ func NewMetrics(reg *obs.Registry, disks int) *Metrics {
 		"Corrupt cells rebuilt from their group and rewritten in place.")
 	m.epochInval = reg.Counter("ecfrm_store_epoch_invalidations_total",
 		"Mutation-epoch bumps; each invalidates decoded-read caches.")
+	m.hedgeFired = reg.Counter("ecfrm_store_hedge_total",
+		"Hedged-read outcomes: fired (speculation launched), won (hedge beat the primary), cancelled (primary finished first).",
+		obs.L("outcome", "fired"))
+	m.hedgeWon = reg.Counter("ecfrm_store_hedge_total",
+		"Hedged-read outcomes: fired (speculation launched), won (hedge beat the primary), cancelled (primary finished first).",
+		obs.L("outcome", "won"))
+	m.hedgeCancelled = reg.Counter("ecfrm_store_hedge_total",
+		"Hedged-read outcomes: fired (speculation launched), won (hedge beat the primary), cancelled (primary finished first).",
+		obs.L("outcome", "cancelled"))
+	m.runBytes = reg.Histogram("ecfrm_store_read_run_bytes",
+		"Bytes per coalesced device run issued by the fan-out executor.",
+		obs.ExpBuckets(1024, 4, 9))
 	return m
 }
 
@@ -127,6 +147,28 @@ func (m *Metrics) epochBump() {
 	}
 }
 
+// hedge records one hedged-read outcome: "fired", "won", or "cancelled".
+func (m *Metrics) hedge(outcome string) {
+	if m == nil {
+		return
+	}
+	switch outcome {
+	case "fired":
+		m.hedgeFired.Inc()
+	case "won":
+		m.hedgeWon.Inc()
+	case "cancelled":
+		m.hedgeCancelled.Inc()
+	}
+}
+
+// observeRun records the size of one coalesced device run.
+func (m *Metrics) observeRun(bytes int) {
+	if m != nil {
+		m.runBytes.Observe(float64(bytes))
+	}
+}
+
 // deviceCounters returns the per-disk counters for device d (nil when the
 // bundle is nil or d is out of the registered range), for wiring into the
 // device itself so its read/write methods account without a store hop.
@@ -135,6 +177,15 @@ func (m *Metrics) deviceCounters(d int) (reads, writes *obs.Counter) {
 		return nil, nil
 	}
 	return m.diskReads[d], m.diskWrites[d]
+}
+
+// deviceInflight returns the per-disk in-flight gauge for device d (nil when
+// the bundle is nil or d is out of range).
+func (m *Metrics) deviceInflight(d int) *obs.Gauge {
+	if m == nil || d >= len(m.diskInflight) {
+		return nil
+	}
+	return m.diskInflight[d]
 }
 
 // SetMetrics installs (or with nil, removes) the store's metrics bundle and
@@ -146,6 +197,7 @@ func (s *Store) SetMetrics(m *Metrics) {
 	s.obs = m
 	for i, d := range s.devices {
 		d.obsReads, d.obsWrites = m.deviceCounters(i)
+		d.obsInflight = m.deviceInflight(i)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports the race detector is active: sync.Pool deliberately
+// drops a fraction of Puts under race instrumentation, so allocation-count
+// assertions are meaningless in that build.
+const raceEnabled = true

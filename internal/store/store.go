@@ -15,6 +15,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -109,6 +110,11 @@ type Device struct {
 	// writes of the pointers; the counters themselves are atomic.
 	obsReads  *obs.Counter
 	obsWrites *obs.Counter
+	// inflight counts fan-out runs currently being served by this device.
+	// The load-aware degraded planner reads it as a live queue-depth signal;
+	// obsInflight mirrors it into the metrics registry.
+	inflight    atomic.Int64
+	obsInflight *obs.Gauge
 }
 
 type cellKey struct {
@@ -202,6 +208,19 @@ type Store struct {
 	// detecting corruption and the exclusive re-acquisition that heals it —
 	// the window where concurrent failures can change what is recoverable.
 	testBeforeHeal func()
+
+	// bufs is the shard arena decoded cells are drawn from; cellsPool
+	// recycles per-stripe cell containers. Together they keep the read
+	// executors from allocating per-stripe garbage on every request.
+	bufs      core.Buffers
+	cellsPool sync.Pool // *stripeCells
+
+	// readOpts are the default execution options ReadAt uses (see fanout.go).
+	// Guarded by mu like inject.
+	readOpts ReadOptions
+	// hedgeLat records recent per-run latencies; hedged reads derive their
+	// speculation delay from its quantiles.
+	hedgeLat latencyRing
 }
 
 // New creates a store using the given scheme with elemSize-byte elements.
@@ -335,9 +354,20 @@ func (s *Store) stripeBytes() int { return s.scheme.DataPerStripe() * s.elemSize
 // corruption: retrying cannot help, healing can). Caller holds mu in either
 // mode.
 func (s *Store) readCell(dev int, k cellKey) ([]byte, error) {
+	return s.readCellCtx(context.Background(), dev, k)
+}
+
+// readCellCtx is readCell with cancellable fault waits: injected delays and
+// stuck-op timeouts return early when ctx is done, so hedged and fanned-out
+// reads can abandon a straggling device without leaking a sleeping
+// goroutine. Caller holds mu in either mode.
+func (s *Store) readCellCtx(ctx context.Context, dev int, k cellKey) ([]byte, error) {
 	d := s.devices[dev]
 	var last error
 	for attempt := 0; attempt <= s.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var f Fault
 		if s.inject != nil {
 			f = s.inject.ReadFault(dev)
@@ -346,13 +376,17 @@ func (s *Store) readCell(dev int, k cellKey) ([]byte, error) {
 			return nil, fmt.Errorf("%w: device %d fail-stopped by fault plan", ErrFailed, dev)
 		}
 		if f.Stuck || f.Delay > s.opTimeout {
-			time.Sleep(s.opTimeout)
+			if err := sleepCtx(ctx, s.opTimeout); err != nil {
+				return nil, err
+			}
 			last = fmt.Errorf("%w: device %d read timed out after %v", ErrUnavailable, dev, s.opTimeout)
 			s.obs.retry(false)
 			continue
 		}
 		if f.Delay > 0 {
-			time.Sleep(f.Delay)
+			if err := sleepCtx(ctx, f.Delay); err != nil {
+				return nil, err
+			}
 		}
 		if f.Err != nil {
 			last = fmt.Errorf("%w: device %d: %v", ErrUnavailable, dev, f.Err)
@@ -562,22 +596,13 @@ type ReadResult struct {
 // Concurrent ReadAt calls share the store lock and proceed in parallel. The
 // one exception is a read that trips over silent corruption: healing
 // rewrites the cell, so the read retries under the exclusive lock.
+//
+// Plans execute through the fan-out executor by default (per-device
+// coalesced runs issued concurrently — see fanout.go); SetReadOptions or
+// ReadAtCtx select the sequential executor, a concurrency bound, or hedged
+// reads per call.
 func (s *Store) ReadAt(off int64, length int) (*ReadResult, error) {
-	s.mu.RLock()
-	res, err := s.readAt(off, length, false)
-	s.mu.RUnlock()
-	if !errors.Is(err, errNeedsHeal) {
-		return res, err
-	}
-	if s.testBeforeHeal != nil {
-		s.testBeforeHeal()
-	}
-	// Corruption found: retry exclusively so healCell may rewrite devices.
-	// The failure set is re-read and the plan rebuilt under the exclusive
-	// lock — anything that changed in the lock gap is observed here.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.readAt(off, length, true)
+	return s.ReadAtCtx(context.Background(), off, length, s.ReadDefaults())
 }
 
 // PlanRead plans the read of length bytes at offset off — normal or
@@ -617,20 +642,32 @@ func (s *Store) PlanRead(off int64, length int) (*core.Plan, error) {
 // terminates: each iteration either returns or grows the unavailable set,
 // and planning fails with ErrUnrecoverable once too much of the array is
 // out of service.
-func (s *Store) readAt(off int64, length int, heal bool) (*ReadResult, error) {
-	if off < 0 || length < 0 {
-		return nil, fmt.Errorf("%w: off=%d length=%d", ErrRange, off, length)
-	}
-	sealed := int64(s.stripes) * int64(s.stripeBytes())
-	if off+int64(length) > sealed {
-		return nil, fmt.Errorf("%w: [%d,%d) beyond sealed extent %d", ErrRange, off, off+int64(length), sealed)
+func (s *Store) readAt(ctx context.Context, off int64, length int, heal bool) (*ReadResult, error) {
+	startElem, count, err := s.checkReadRange(off, length)
+	if err != nil {
+		return nil, err
 	}
 	if length == 0 {
 		return &ReadResult{Data: []byte{}, Plan: &core.Plan{}}, nil
 	}
-	startElem := int(off / int64(s.elemSize))
-	endElem := int((off + int64(length) - 1) / int64(s.elemSize))
-	count := endElem - startElem + 1
+	dps := s.scheme.DataPerStripe()
+	endElem := startElem + count - 1
+	startStripe := startElem / dps
+
+	// Per-stripe cell containers come from the store's pool and decoded
+	// shards from the arena; release recycles them on every exit path —
+	// including each replan, whose pass may refill the same slots from
+	// different sources — so steady-state reads generate no per-stripe
+	// garbage and no pooled buffer is ever dropped or recycled twice.
+	fetched := make([]*stripeCells, endElem/dps-startStripe+1)
+	release := func() {
+		for i, sc := range fetched {
+			if sc != nil {
+				s.putStripeCells(sc)
+				fetched[i] = nil
+			}
+		}
+	}
 
 	unavail := make(map[int]bool) // devices that proved slow-or-erroring
 
@@ -651,6 +688,7 @@ replan:
 			plan, err = s.scheme.PlanDegradedRead(startElem, count, failed)
 		}
 		if err != nil {
+			release()
 			if len(unavail) > 0 {
 				// The plan only became impossible because of devices that
 				// are transiently out: surface that, so callers can retry
@@ -664,53 +702,46 @@ replan:
 		// Execute the plan: fetch each planned cell into per-stripe buffers.
 		// Checksum failures are healed on the fly from the cell's group;
 		// unavailable devices send the read back around for a new plan.
-		fetched := make(map[int][][]byte) // stripe → cells
 		healed := 0
 		for _, a := range plan.Reads {
-			cells, ok := fetched[a.Stripe]
-			if !ok {
-				cells = make([][]byte, s.scheme.CellsPerStripe())
-				fetched[a.Stripe] = cells
+			sc := fetched[a.Stripe-startStripe]
+			if sc == nil {
+				sc = s.getStripeCells()
+				fetched[a.Stripe-startStripe] = sc
 			}
-			data, err := s.readCell(a.Disk, cellKey{a.Stripe, a.Pos})
+			data, err := s.readCellCtx(ctx, a.Disk, cellKey{a.Stripe, a.Pos})
 			if errors.Is(err, ErrCorrupt) {
 				if !heal {
+					release()
 					return nil, errNeedsHeal
 				}
 				data, err = s.healCell(a.Stripe, a.Pos)
 				if err != nil {
+					release()
 					return nil, err
 				}
 				healed++
 			} else if errors.Is(err, ErrUnavailable) || errors.Is(err, ErrFailed) {
 				unavail[a.Disk] = true
 				s.obs.replan()
+				release()
 				continue replan
 			}
 			if err != nil {
+				release()
 				return nil, err
 			}
-			cells[a.Pos.Row*s.scheme.N()+a.Pos.Col] = data
+			sc.cells[a.Pos.Row*s.scheme.N()+a.Pos.Col] = data
 		}
 
 		// Assemble the requested elements, decoding lost ones on the fly.
-		dps := s.scheme.DataPerStripe()
-		out := make([]byte, 0, count*s.elemSize)
-		for x := startElem; x <= endElem; x++ {
-			stripe, e := x/dps, x%dps
-			cells, ok := fetched[stripe]
-			if !ok {
-				return nil, fmt.Errorf("store: plan missed stripe %d", stripe)
-			}
-			shard, err := s.scheme.RebuildData(cells, e)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, shard...)
+		data, err := s.assemble(fetched, startStripe, startElem, endElem, off, length)
+		release()
+		if err != nil {
+			return nil, err
 		}
-		skip := int(off - int64(startElem)*int64(s.elemSize))
 		s.obs.observeRead(len(failed) > 0, plan.MaxLoad())
-		return &ReadResult{Data: out[skip : skip+length], Plan: plan, Healed: healed}, nil
+		return &ReadResult{Data: data, Plan: plan, Healed: healed}, nil
 	}
 }
 
@@ -932,6 +963,7 @@ func (s *Store) RecoverDisk(d int) (readCost int, err error) {
 	// The replacement inherits the failed device's metric series: to the
 	// registry it is the same disk slot.
 	replacement.obsReads, replacement.obsWrites = dev.obsReads, dev.obsWrites
+	replacement.obsInflight = dev.obsInflight
 
 	for stripe := 0; stripe < s.stripes; stripe++ {
 		// Per-stripe read cache: an element fetched for one group's repair

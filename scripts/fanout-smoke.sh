@@ -1,0 +1,138 @@
+#!/bin/sh
+# fanout-smoke: end-to-end check of the parallel fan-out read path against a
+# live ecfrmd under a jittered single-slow-disk fault plan.
+#
+# Builds the daemon, starts it with hedging enabled and a fault plan that
+# slows device 0 by 8ms±4ms per operation, PUTs one object, then times a
+# batch of uncached GETs through the sequential executor (?sequential=1)
+# against the same batch through the fan-out executor. Asserts that:
+#
+#   1. every GET body matches the PUT payload,
+#   2. the fan-out batch beats the sequential batch on both total and
+#      worst-case (P99-ish) latency,
+#   3. the hedge counters moved (ecfrm_store_hedge_total{outcome="fired"}),
+#   4. the daemon still drains gracefully on SIGTERM.
+#
+# Exits nonzero (and dumps the daemon log) on any miss.
+set -eu
+
+PORT="${FANOUT_SMOKE_PORT:-18613}"
+GETS="${FANOUT_SMOKE_GETS:-12}"
+TMP="$(mktemp -d /tmp/ecfrm-fanout-smoke-XXXXXX)"
+BIN="$TMP/ecfrmd"
+LOG="$TMP/ecfrmd.log"
+PID=""
+
+cleanup() {
+    status=$?
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ] && [ -f "$LOG" ]; then
+        echo "fanout-smoke: FAILED — daemon log:" >&2
+        cat "$LOG" >&2
+    fi
+    rm -rf "$TMP"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+fetch() { # fetch <url-path> [curl args...] — prints the body
+    path="$1"
+    shift
+    curl -fsS "$@" "http://127.0.0.1:$PORT$path"
+}
+
+echo "fanout-smoke: building ecfrmd"
+go build -o "$BIN" ./cmd/ecfrmd
+
+# Device 0 pays 8ms plus up to 4ms of jitter on every operation; everything
+# else is healthy. Small elements keep the read I/O-bound on the fault plan.
+cat >"$TMP/plan.json" <<'EOF'
+{"seed": 5, "policies": [{"device": 0, "latency": 8000000, "jitter": 4000000}]}
+EOF
+
+echo "fanout-smoke: starting on :$PORT (hedged fan-out, slow device 0)"
+"$BIN" -addr "127.0.0.1:$PORT" -elem 4096 -hedge -hedge-quantile 0.5 \
+    -faults "$TMP/plan.json" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/metrics" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "fanout-smoke: daemon never came up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+head -c 524288 /dev/urandom >"$TMP/payload.bin"
+fetch /objects/smoke -X PUT --data-binary @"$TMP/payload.bin" -o /dev/null
+
+# timed_gets <query> <times-file>: $GETS uncached GETs, one time_total per
+# line, each body verified against the payload.
+timed_gets() {
+    : >"$2"
+    i=0
+    while [ "$i" -lt "$GETS" ]; do
+        curl -fsS -o "$TMP/out.bin" -w '%{time_total}\n' \
+            "http://127.0.0.1:$PORT/objects/smoke?nocache=1&$1" >>"$2"
+        cmp -s "$TMP/payload.bin" "$TMP/out.bin" || {
+            echo "fanout-smoke: GET ($1) body does not match PUT payload" >&2
+            exit 1
+        }
+        i=$((i + 1))
+    done
+}
+
+# Warm-up fan-out reads populate the hedge latency ring (before it has
+# quantile coverage the hedge delay clamps to its maximum and rarely fires).
+timed_gets "" "$TMP/warm.txt"
+
+timed_gets "sequential=1" "$TMP/seq.txt"
+timed_gets "" "$TMP/fan.txt"
+
+# Compare total and worst-case latency across the two batches.
+stat() { # stat <file> -> "<sum> <max>" in microseconds
+    awk '{ us = $1 * 1000000; sum += us; if (us > max) max = us }
+         END { printf "%.0f %.0f\n", sum, max }' "$1"
+}
+SEQ=$(stat "$TMP/seq.txt")
+FAN=$(stat "$TMP/fan.txt")
+echo "fanout-smoke: sequential sum/max us: $SEQ"
+echo "fanout-smoke: fan-out    sum/max us: $FAN"
+if [ "${FAN%% *}" -ge "${SEQ%% *}" ]; then
+    echo "fanout-smoke: fan-out batch total did not beat sequential" >&2
+    exit 1
+fi
+if [ "${FAN##* }" -ge "${SEQ##* }" ]; then
+    echo "fanout-smoke: fan-out worst-case GET did not beat sequential" >&2
+    exit 1
+fi
+
+SCRAPE="$TMP/metrics.prom"
+fetch /metrics >"$SCRAPE"
+want() {
+    if ! grep -q "$1" "$SCRAPE"; then
+        echo "fanout-smoke: /metrics missing: $1" >&2
+        echo "--- scrape ---" >&2
+        cat "$SCRAPE" >&2
+        exit 1
+    fi
+}
+want '^ecfrm_store_hedge_total{outcome="fired"} [1-9]'
+want '^ecfrm_store_read_run_bytes_count [1-9]'
+
+# Graceful drain on SIGTERM.
+kill -TERM "$PID"
+wait "$PID"
+PID=""
+grep -q "drained" "$LOG" || {
+    echo "fanout-smoke: daemon did not report graceful drain" >&2
+    exit 1
+}
+
+echo "fanout-smoke: OK"
