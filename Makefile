@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json
 
 all: build
 
@@ -66,6 +66,18 @@ fanout-smoke:
 fanout-json:
 	$(GO) run ./cmd/ecfrmbench -fanout BENCH_fanout.json
 
+# End-to-end write-path check against a real daemon under a jittered fault
+# plan: concurrent small PUTs must pack into fewer stripes than objects, every
+# object must read back byte-identical, scrub must come back clean, and the
+# WAL metric families must move.
+writepath-smoke:
+	./scripts/writepath-smoke.sh
+
+# The committed write-path numbers (BENCH_writepath.json): per-object seals vs
+# group-commit WAL packing, and parity-delta vs full-stripe re-encode updates.
+writepath-json:
+	$(GO) run ./cmd/ecfrmbench -writepath BENCH_writepath.json
+
 # A short fuzz run over the GF kernel equivalence target.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
@@ -79,4 +91,4 @@ chaos:
 	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
 		./internal/faultinject/ ./internal/shardio/
 
-ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke chaos
+ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke chaos

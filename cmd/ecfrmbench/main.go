@@ -42,6 +42,7 @@ func main() {
 		readpath    = flag.String("readpath", "", "run the streaming-vs-buffered shardio benchmark and write JSON to this path (e.g. BENCH_readpath.json), then exit")
 		readpathMB  = flag.Int64("readpath-bytes", 0, "readpath payload size in bytes (0 = 256 MiB)")
 		fanoutOut   = flag.String("fanout", "", "run the fan-out read executor benchmark and write JSON to this path (e.g. BENCH_fanout.json), then exit")
+		writepath   = flag.String("writepath", "", "run the group-commit write path benchmark and write JSON to this path (e.g. BENCH_writepath.json), then exit")
 		parallel    = flag.Int("parallel", 0, "measure figure (code, form) cells across this many workers; results are bit-identical to sequential")
 	)
 	flag.Parse()
@@ -63,6 +64,13 @@ func main() {
 	if *fanoutOut != "" {
 		if err := runFanoutBench(*fanoutOut); err != nil {
 			fmt.Fprintln(os.Stderr, "fanout:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *writepath != "" {
+		if err := runWritepathBench(*writepath); err != nil {
+			fmt.Fprintln(os.Stderr, "writepath:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,382 @@
+// Write-path benchmark mode: -writepath <path> measures the tentpole claims
+// of the group-commit write path and writes BENCH_writepath.json.
+//
+// Two scenarios:
+//
+//   - small-object PUT throughput: N 4 KiB objects stored by W concurrent
+//     writers, once through the old per-object path (a global lock around
+//     Append+Flush, one padded stripe per object — exactly what the HTTP
+//     handler used to do) and once through the WAL (objects pack into shared
+//     stripes; writers block only on their batch's group commit). A uniform
+//     per-device write latency keeps the benchmark I/O-shaped rather than
+//     memcpy-shaped (same trick as the fanout bench): what's being measured
+//     is cell writes per object, which packing divides by the batch size.
+//     Every object is read back and byte-verified (injector cleared first),
+//     so a fast-but-lossy batcher cannot post a score.
+//
+//   - parity-delta partial writes: M single-element overwrites applied to
+//     identical sealed stores via the parity-delta path (WriteAt: read old
+//     cell, XOR, apply delta to parities) and via full-stripe re-encode
+//     (WriteAtReencode). The stores must end byte-identical; the report
+//     compares device elements written per update.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/rs"
+	"repro/internal/store"
+)
+
+const (
+	writepathElemBytes = 4 << 10
+	writepathObjBytes  = 4 << 10
+	writepathObjects   = 800
+	writepathWriters   = 8
+	writepathUpdates   = 200
+	// writepathCellLatency models a fast device's per-cell write cost. Both
+	// paths pay it identically per gated cell write; packing wins by issuing
+	// ~18x fewer of them per object.
+	writepathCellLatency = 200 * time.Microsecond
+)
+
+type writepathPutResult struct {
+	Path         string  `json:"path"` // "per-object" or "wal"
+	Objects      int     `json:"objects"`
+	Writers      int     `json:"writers"`
+	Seconds      float64 `json:"seconds"`
+	ObjectsPerS  float64 `json:"objects_per_s"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Stripes      int     `json:"stripes_sealed"`
+	DeviceWrites int     `json:"device_element_writes"`
+	BytesPerObj  float64 `json:"device_bytes_per_object"`
+	// SpeedupVsPerObject is this path's objects/s over the per-object
+	// baseline (1.0 for the baseline row).
+	SpeedupVsPerObject float64 `json:"speedup_vs_per_object"`
+}
+
+type writepathDeltaResult struct {
+	Path          string  `json:"path"` // "parity-delta" or "reencode"
+	Updates       int     `json:"updates"`
+	DeviceWrites  int     `json:"device_element_writes"`
+	WritesPerUpd  float64 `json:"element_writes_per_update"`
+	DeviceReads   int     `json:"device_element_reads"`
+	Seconds       float64 `json:"seconds"`
+	BytesIdential bool    `json:"byte_identical_to_peer"`
+}
+
+type writepathReport struct {
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	CPUs      int                    `json:"cpus"`
+	Timestamp string                 `json:"timestamp"`
+	Scheme    string                 `json:"scheme"`
+	ElemBytes int                    `json:"elem_bytes"`
+	Put       []writepathPutResult   `json:"put"`
+	Delta     []writepathDeltaResult `json:"partial_write"`
+}
+
+func newWritepathStore() (*store.Store, error) {
+	code, err := rs.New(6, 3)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.NewScheme(code, layout.FormECFRM)
+	if err != nil {
+		return nil, err
+	}
+	return store.New(scheme, writepathElemBytes)
+}
+
+// writepathObject deterministically generates object i's payload.
+func writepathObject(i int) []byte {
+	buf := make([]byte, writepathObjBytes)
+	rand.New(rand.NewSource(int64(i) + 1)).Read(buf)
+	return buf
+}
+
+func totalDeviceWrites(st *store.Store) int {
+	n := 0
+	for d := 0; d < st.Scheme().N(); d++ {
+		n += st.Device(d).Writes()
+	}
+	return n
+}
+
+func totalDeviceReads(st *store.Store) int {
+	n := 0
+	for d := 0; d < st.Scheme().N(); d++ {
+		n += st.Device(d).Reads()
+	}
+	return n
+}
+
+func percentiles(lats []time.Duration) (p50, p99 float64) {
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return float64(lats[len(lats)/2]) / 1e6, float64(lats[(len(lats)*99)/100]) / 1e6
+}
+
+// runWritepathPut measures one write path ("per-object" or "wal") end to end
+// and verifies every stored object.
+func runWritepathPut(path string, rep *writepathReport) (*writepathPutResult, error) {
+	st, err := newWritepathStore()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Scheme == "" {
+		rep.Scheme = st.Scheme().Name()
+	}
+	policies := make([]faultinject.Policy, st.Scheme().N())
+	for d := range policies {
+		policies[d] = faultinject.Policy{Device: d, Latency: writepathCellLatency}
+	}
+	st.SetFaultInjector(faultinject.New(faultinject.Plan{Seed: 11, Policies: policies}))
+	offs := make([]int64, writepathObjects)
+	lats := make([]time.Duration, writepathObjects)
+	var mu sync.Mutex // serializes the per-object path, like the old handler
+	var w *store.WAL
+	if path == "wal" {
+		w = store.NewWAL(st, store.WALConfig{})
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, writepathWriters)
+	for g := 0; g < writepathWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < writepathObjects; i += writepathWriters {
+				obj := writepathObject(i)
+				t0 := time.Now()
+				if w != nil {
+					off, err := w.Put(context.Background(), obj)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					offs[i] = off
+				} else {
+					mu.Lock()
+					offs[i] = st.NextOffset()
+					err := st.Append(obj)
+					if err == nil {
+						err = st.Flush()
+					}
+					mu.Unlock()
+					if err != nil {
+						errs[g] = err
+						return
+					}
+				}
+				lats[i] = time.Since(t0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w != nil {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Verify with the injector cleared — the read path is not under test.
+	st.SetFaultInjector(nil)
+	writes := totalDeviceWrites(st)
+	for i := 0; i < writepathObjects; i++ {
+		res, err := st.ReadAt(offs[i], writepathObjBytes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: read back object %d: %w", path, i, err)
+		}
+		if !bytes.Equal(res.Data, writepathObject(i)) {
+			return nil, fmt.Errorf("%s: object %d corrupted", path, i)
+		}
+	}
+
+	p50, p99 := percentiles(lats)
+	r := &writepathPutResult{
+		Path:         path,
+		Objects:      writepathObjects,
+		Writers:      writepathWriters,
+		Seconds:      elapsed.Seconds(),
+		ObjectsPerS:  float64(writepathObjects) / elapsed.Seconds(),
+		P50Ms:        p50,
+		P99Ms:        p99,
+		Stripes:      st.Stripes(),
+		DeviceWrites: writes,
+		BytesPerObj:  float64(writes) * writepathElemBytes / writepathObjects,
+	}
+	rep.Put = append(rep.Put, *r)
+	return r, nil
+}
+
+// runWritepathDelta applies the same random single-element overwrites to two
+// identical sealed stores through the two partial-write paths and compares
+// cost and content.
+func runWritepathDelta(rep *writepathReport) error {
+	mk := func() (*store.Store, error) {
+		st, err := newWritepathStore()
+		if err != nil {
+			return nil, err
+		}
+		base := make([]byte, 8*st.Scheme().DataPerStripe()*writepathElemBytes)
+		rand.New(rand.NewSource(99)).Read(base)
+		if err := st.Append(base); err != nil {
+			return nil, err
+		}
+		if err := st.Flush(); err != nil {
+			return nil, err
+		}
+		st.ResetCounters()
+		return st, nil
+	}
+	delta, err := mk()
+	if err != nil {
+		return err
+	}
+	reenc, err := mk()
+	if err != nil {
+		return err
+	}
+
+	extent := delta.NextOffset()
+	rng := rand.New(rand.NewSource(7))
+	type upd struct {
+		off  int64
+		data []byte
+	}
+	updates := make([]upd, writepathUpdates)
+	for i := range updates {
+		off := int64(rng.Intn(int(extent)/writepathElemBytes)) * writepathElemBytes
+		data := make([]byte, writepathElemBytes)
+		rng.Read(data)
+		updates[i] = upd{off, data}
+	}
+
+	run := func(st *store.Store, apply func(int64, []byte) error) (time.Duration, error) {
+		start := time.Now()
+		for _, u := range updates {
+			if err := apply(u.off, u.data); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	dElapsed, err := run(delta, delta.WriteAt)
+	if err != nil {
+		return fmt.Errorf("parity-delta: %w", err)
+	}
+	rElapsed, err := run(reenc, reenc.WriteAtReencode)
+	if err != nil {
+		return fmt.Errorf("reencode: %w", err)
+	}
+
+	dWrites, rWrites := totalDeviceWrites(delta), totalDeviceWrites(reenc)
+	dReads, rReads := totalDeviceReads(delta), totalDeviceReads(reenc)
+	dRes, err := delta.ReadAt(0, int(extent))
+	if err != nil {
+		return err
+	}
+	rRes, err := reenc.ReadAt(0, int(extent))
+	if err != nil {
+		return err
+	}
+	same := bytes.Equal(dRes.Data, rRes.Data)
+	if !same {
+		return fmt.Errorf("parity-delta and re-encode stores diverged")
+	}
+	if dWrites >= rWrites {
+		return fmt.Errorf("parity-delta wrote %d elements, re-encode %d; delta must be strictly cheaper", dWrites, rWrites)
+	}
+	rep.Delta = append(rep.Delta,
+		writepathDeltaResult{
+			Path: "parity-delta", Updates: writepathUpdates,
+			DeviceWrites: dWrites, WritesPerUpd: float64(dWrites) / writepathUpdates,
+			DeviceReads: dReads, Seconds: dElapsed.Seconds(), BytesIdential: same,
+		},
+		writepathDeltaResult{
+			Path: "reencode", Updates: writepathUpdates,
+			DeviceWrites: rWrites, WritesPerUpd: float64(rWrites) / writepathUpdates,
+			DeviceReads: rReads, Seconds: rElapsed.Seconds(), BytesIdential: same,
+		})
+	fmt.Printf("%-14s %8d updates %10d elem writes (%6.1f/upd) %10d elem reads %8.3fs\n",
+		"parity-delta", writepathUpdates, dWrites, float64(dWrites)/writepathUpdates, dReads, dElapsed.Seconds())
+	fmt.Printf("%-14s %8d updates %10d elem writes (%6.1f/upd) %10d elem reads %8.3fs\n",
+		"reencode", writepathUpdates, rWrites, float64(rWrites)/writepathUpdates, rReads, rElapsed.Seconds())
+	fmt.Printf("parity-delta writes %.1fx fewer elements per update\n", float64(rWrites)/float64(dWrites))
+	return nil
+}
+
+// runWritepathBench runs both scenarios and writes the JSON report to path.
+func runWritepathBench(path string) error {
+	rep := writepathReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		ElemBytes: writepathElemBytes,
+	}
+	fmt.Printf("write-path sweep: %d x %d KiB objects, %d writers, RS(6,3) ecfrm, %d KiB elements\n",
+		writepathObjects, writepathObjBytes>>10, writepathWriters, writepathElemBytes>>10)
+	fmt.Printf("%-12s %10s %9s %9s %9s %8s %14s\n",
+		"path", "obj/s", "p50 ms", "p99 ms", "speedup", "stripes", "dev bytes/obj")
+
+	base, err := runWritepathPut("per-object", &rep)
+	if err != nil {
+		return err
+	}
+	base.SpeedupVsPerObject = 1.0
+	rep.Put[0].SpeedupVsPerObject = 1.0
+	fmt.Printf("%-12s %10.0f %9.3f %9.3f %8.1fx %8d %14.0f\n",
+		base.Path, base.ObjectsPerS, base.P50Ms, base.P99Ms, 1.0, base.Stripes, base.BytesPerObj)
+
+	wal, err := runWritepathPut("wal", &rep)
+	if err != nil {
+		return err
+	}
+	speedup := wal.ObjectsPerS / base.ObjectsPerS
+	wal.SpeedupVsPerObject = speedup
+	rep.Put[1].SpeedupVsPerObject = speedup
+	fmt.Printf("%-12s %10.0f %9.3f %9.3f %8.1fx %8d %14.0f\n",
+		wal.Path, wal.ObjectsPerS, wal.P50Ms, wal.P99Ms, speedup, wal.Stripes, wal.BytesPerObj)
+
+	fmt.Println()
+	if err := runWritepathDelta(&rep); err != nil {
+		return err
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

@@ -37,8 +37,15 @@
 // GETs can override with ?sequential=, ?concurrency=, ?hedge= and bypass the
 // cache with ?nocache=1.
 //
+// Write execution: PUTs queue into a group-commit WAL and ack once their
+// batch seals, so concurrent small objects pack into shared stripes instead
+// of flush-padding one stripe each. -wal-batch sets the byte threshold that
+// triggers an immediate commit (default one stripe of user data);
+// -wal-flush-interval bounds how long a lone PUT waits for company.
+//
 // The daemon shuts down gracefully: SIGINT/SIGTERM stops accepting new
-// connections and drains in-flight requests for up to 10 seconds.
+// connections, drains in-flight requests for up to 10 seconds, then commits
+// anything still queued in the WAL.
 package main
 
 import (
@@ -76,6 +83,10 @@ func main() {
 		faults   = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
 		obsOn    = flag.Bool("obs", false, "enable pprof endpoints and the periodic load-imbalance log line")
 		obsEvery = flag.Duration("obs-interval", 10*time.Second, "load-imbalance log interval (with -obs)")
+
+		walBatch = flag.Int("wal-batch", 0, "group-commit byte threshold for PUTs (0 = one stripe of user data)")
+		walEvery = flag.Duration("wal-flush-interval", store.DefaultFlushInterval,
+			"max time a queued PUT waits for a group commit")
 
 		fanout   = flag.Bool("fanout", true, "serve reads through the parallel fan-out executor (false = sequential)")
 		readConc = flag.Int("read-concurrency", 0, "max devices served concurrently per read (0 = one worker per device)")
@@ -133,7 +144,11 @@ func main() {
 		},
 	})
 	reg := obs.NewRegistry()
-	handler := httpd.NewServerWith(st, httpd.Config{Registry: reg, EnablePprof: *obsOn})
+	handler := httpd.NewServerWith(st, httpd.Config{
+		Registry:    reg,
+		EnablePprof: *obsOn,
+		WAL:         store.WALConfig{BatchBytes: *walBatch, FlushInterval: *walEvery},
+	})
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -207,6 +222,10 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal("ecfrmd: ", err)
+		}
+		// The listener is drained; commit any queued PUTs and stop the WAL.
+		if err := handler.Close(); err != nil {
+			log.Fatal("ecfrmd: wal close: ", err)
 		}
 		log.Print("drained, bye")
 	}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/codes"
+	"repro/internal/gf"
 	"repro/internal/layout"
 )
 
@@ -370,9 +371,7 @@ func (s *Scheme) UpdateData(cells [][]byte, e int, newData []byte) ([]int, error
 		return nil, fmt.Errorf("%w: new data %d bytes, cell holds %d", ErrBadRequest, len(newData), len(old))
 	}
 	delta := make([]byte, len(old))
-	for i := range delta {
-		delta[i] = old[i] ^ newData[i]
-	}
+	gf.XorSlice(delta, old, newData)
 	c := s.lay.CellAt(pos)
 	k, n := s.code.K(), s.code.N()
 	parity := make([][]byte, n-k)

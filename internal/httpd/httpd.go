@@ -5,7 +5,11 @@
 // and an admin surface drives failure injection, recovery, scrubbing, and
 // I/O statistics.
 //
-//	PUT  /objects/{name}         store the request body as an object
+//	PUT  /objects/{name}         store the request body as an object; the
+//	                             response acks only after the WAL's group
+//	                             commit makes the bytes durable, so many
+//	                             concurrent small PUTs pack into shared
+//	                             stripes instead of sealing one each
 //	GET  /objects/{name}         read it back (degraded reads transparent)
 //	                             ?sequential=1     use the sequential executor
 //	                             ?concurrency=N    bound fan-out worker count
@@ -33,10 +37,13 @@
 //
 // All handlers are safe for concurrent use. Locking is sharded so
 // independent GETs plan and decode in parallel: the server holds only a
-// small lock around the object-name map, each object carries its own mutex
-// (which doubles as single-flight for cache fills), and the store
+// small lock around the object-name map (PUTs take it just long enough to
+// reserve the name, never across store I/O), each object carries its own
+// mutex (which doubles as single-flight for cache fills), and the store
 // synchronizes device access internally with shared-read locking and atomic
-// I/O counters. Hot objects are served from an epoch-tagged decoded-payload
+// I/O counters. PUTs whose group commit trips the fault injector get 503
+// with Retry-After — the WAL keeps their bytes queued for the next batch,
+// and the name reservation is released so the retry can claim it. Hot objects are served from an epoch-tagged decoded-payload
 // cache that failure injection, recovery, corruption, and healing all
 // invalidate by bumping the store epoch.
 package httpd
@@ -86,15 +93,23 @@ type cachedRead struct {
 // last decoded read. The mutex single-flights cache fills, so a burst of
 // GETs for one hot object decodes it once; GETs for different objects never
 // contend on it.
+//
+// An object enters the map as a name reservation before its bytes are
+// durable: committed flips true (with release semantics, after meta is set)
+// only when the WAL's group commit acks the PUT. Readers that observe
+// committed==false treat the name as absent; the PUT handler deletes the
+// reservation if the commit fails, so the name frees up for a retry.
 type object struct {
-	meta  objectMeta
-	mu    sync.Mutex
-	cache *cachedRead
+	meta      objectMeta
+	committed atomic.Bool
+	mu        sync.Mutex
+	cache     *cachedRead
 }
 
 // Server is the HTTP object service.
 type Server struct {
 	store *store.Store
+	wal   *store.WAL
 	mux   *http.ServeMux
 
 	// mu guards only the objects map; per-object state has its own lock.
@@ -128,6 +143,10 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints on a storage port are opt-in.
 	EnablePprof bool
+	// WAL tunes the group-commit write path (batch threshold and flush
+	// interval); the zero value uses the store defaults of one stripe and
+	// store.DefaultFlushInterval.
+	WAL store.WALConfig
 }
 
 // requestBuckets spans 100µs to ~25s exponentially — tight enough to
@@ -155,6 +174,7 @@ func NewServerWith(st *store.Store, cfg Config) *Server {
 	if st.Metrics() == nil {
 		st.SetMetrics(store.NewMetrics(s.reg, st.Scheme().N()))
 	}
+	s.wal = store.NewWAL(st, cfg.WAL)
 	s.cacheHits = s.reg.Counter("ecfrm_httpd_cache_hits_total",
 		"Object GETs served from the decoded-read cache.")
 	s.cacheMisses = s.reg.Counter("ecfrm_httpd_cache_misses_total",
@@ -201,6 +221,15 @@ func NewServerWith(st *store.Store, cfg Config) *Server {
 // (the daemons) can add their own instruments to the same scrape.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// WAL exposes the server's group-commit write path (tests and benchmarks
+// inspect its depth and log).
+func (s *Server) WAL() *store.WAL { return s.wal }
+
+// Close drains and shuts down the write path: queued PUTs are committed,
+// then further PUTs fail with 503. Call after the HTTP listener stops
+// accepting requests.
+func (s *Server) Close() error { return s.wal.Close() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -235,38 +264,64 @@ func (s *Server) putObject(w http.ResponseWriter, r *http.Request, name string) 
 		http.Error(w, "empty object", http.StatusBadRequest)
 		return
 	}
-	// The map lock also serializes Len+Append+Flush, so concurrent PUTs
-	// claim disjoint extents. GETs only touch this lock for the map lookup.
+	// The map lock is held only to reserve the name — never across store
+	// I/O — so concurrent PUTs for different objects proceed in parallel
+	// and share group commits instead of serializing behind one another.
+	// The reservation itself preserves the append-only contract: a second
+	// PUT for the same name sees the entry (committed or not) and gets 409.
+	obj := &object{}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, exists := s.objects[name]; exists {
-		// Append-only store: objects are immutable once written.
+		s.mu.Unlock()
 		http.Error(w, "object exists (store is append-only)", http.StatusConflict)
 		return
 	}
-	// NextOffset, not Len: flush padding from earlier objects occupies
-	// address space, and reads resolve offsets arithmetically.
-	off := s.store.NextOffset()
-	if err := s.store.Append(body); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	s.objects[name] = obj
+	s.mu.Unlock()
+
+	// Queue into the WAL and wait for the group commit that makes the
+	// bytes durable. Many concurrent PUTs pack into shared stripes here.
+	off, err := s.wal.Put(r.Context(), body)
+	if err != nil {
+		// The commit failed or the client gave up: free the name so a
+		// retry can claim it. Fault-aborted commits are transient by
+		// construction (the WAL retains its queue and retries), so steer
+		// the client back just like degraded reads do.
+		s.mu.Lock()
+		delete(s.objects, name)
+		s.mu.Unlock()
+		switch {
+		case errors.Is(err, store.ErrUnavailable):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, store.ErrWALClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case r.Context().Err() != nil:
+			// Client disconnected while waiting for the ack; its entry may
+			// still commit, but nobody is listening for the outcome.
+			http.Error(w, err.Error(), 499)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
-	// Seal so the object is immediately readable; padding is internal.
-	if err := s.store.Flush(); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	s.objects[name] = &object{meta: objectMeta{Off: off, Size: len(body)}}
+	obj.meta = objectMeta{Off: off, Size: len(body)}
+	obj.committed.Store(true) // publish: readers load-acquire this flag
 	w.WriteHeader(http.StatusCreated)
 	fmt.Fprintf(w, "stored %d bytes at offset %d\n", len(body), off)
 }
 
-// lookup fetches an object's handle under the shared map lock.
+// lookup fetches an object's handle under the shared map lock. Names whose
+// PUT has not yet group-committed are reservations, not objects: callers see
+// them as absent.
 func (s *Server) lookup(name string) (*object, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	obj, ok := s.objects[name]
-	return obj, ok
+	s.mu.RUnlock()
+	if !ok || !obj.committed.Load() {
+		return nil, false
+	}
+	return obj, true
 }
 
 // parseReadOptions derives per-request executor options from query
@@ -394,6 +449,8 @@ type Status struct {
 	DeviceReads    []int   `json:"device_reads"`
 	DeviceWrites   []int   `json:"device_writes"`
 	CachedBytes    int64   `json:"cached_bytes"`
+	WALQueued      int     `json:"wal_queued_objects"`
+	WALQueuedBytes int     `json:"wal_queued_bytes"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -416,6 +473,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		FailedDisks:    s.store.FailedDisks(),
 		CachedBytes:    s.cacheBytes.Load(),
 	}
+	st.WALQueued, st.WALQueuedBytes = s.wal.Depth()
 	for d := 0; d < sch.N(); d++ {
 		st.DeviceReads = append(st.DeviceReads, s.store.Device(d).Reads())
 		st.DeviceWrites = append(st.DeviceWrites, s.store.Device(d).Writes())

@@ -1,0 +1,189 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/store"
+)
+
+// newWriteTestServer builds a server whose WAL config the test controls.
+func newWriteTestServer(t *testing.T, cfg Config) (*httptest.Server, *Server, *store.Store) {
+	t.Helper()
+	scheme := core.MustScheme(lrc.Must(6, 2, 2), layout.FormECFRM)
+	st := store.MustNew(scheme, 256)
+	srv := NewServerWith(st, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, srv, st
+}
+
+// TestPutPacksConcurrentSmallObjects: concurrent small PUTs through the full
+// HTTP path must share stripes — the store seals far fewer stripes than the
+// old one-object-one-stripe path would — and every object reads back intact.
+func TestPutPacksConcurrentSmallObjects(t *testing.T) {
+	ts, srv, st := newWriteTestServer(t, Config{})
+	objects := 48
+	obj := func(i int) []byte { return bytes.Repeat([]byte{byte(i + 1)}, 200) }
+
+	var wg sync.WaitGroup
+	for i := 0; i < objects; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := doReq(t, http.MethodPut, fmt.Sprintf("%s/objects/o%d", ts.URL, i), obj(i))
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("put o%d: %d %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := srv.WAL().Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := st.Stripes(); got >= objects {
+		t.Fatalf("%d objects sealed %d stripes; group commit should pack them into fewer", objects, got)
+	}
+	for i := 0; i < objects; i++ {
+		resp, body := doReq(t, http.MethodGet, fmt.Sprintf("%s/objects/o%d", ts.URL, i), nil)
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, obj(i)) {
+			t.Fatalf("get o%d: %d, %d bytes", i, resp.StatusCode, len(body))
+		}
+	}
+}
+
+// TestPutFaulted503ThenRetrySucceeds is the write-fault regression: a PUT
+// whose group commit trips the injector must return 503 with Retry-After and
+// release its name reservation; after the plan clears, the retry succeeds
+// and the WAL's retained bytes are still exactly-once in the store.
+func TestPutFaulted503ThenRetrySucceeds(t *testing.T) {
+	// A short interval lets the WAL's own retry timer drive both the faulted
+	// attempt and the post-clear recovery — no manual flushing.
+	ts, srv, st := newWriteTestServer(t, Config{WAL: store.WALConfig{FlushInterval: time.Millisecond}})
+	st.SetRetryPolicy(200*time.Microsecond, 2)
+
+	// Deterministic plan: device 3 fails every write. Installed through the
+	// HTTP surface so the whole fault path is end-to-end.
+	plan := `{"seed": 42, "policies": [{"device": 3, "write_err_prob": 1}]}`
+	resp, body := doReq(t, http.MethodPut, ts.URL+"/faults", []byte(plan))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("install plan: %d %s", resp.StatusCode, body)
+	}
+
+	payload := bytes.Repeat([]byte{0xcd}, 300)
+	resp, _ = doReq(t, http.MethodPut, ts.URL+"/objects/hot", payload)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted put: %d; want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("faulted put missing Retry-After")
+	}
+	// The reservation is gone (404, not a half-visible object) but the WAL
+	// keeps the bytes queued for the next batch.
+	if r, _ := doReq(t, http.MethodGet, ts.URL+"/objects/hot", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("uncommitted object visible: %d", r.StatusCode)
+	}
+	if n, _ := srv.WAL().Depth(); n != 1 {
+		t.Fatalf("wal retained %d entries; want 1", n)
+	}
+
+	// Clear the plan; the retry claims the freed name and commits — along
+	// with the retained first attempt, which becomes an orphaned extent.
+	if r, _ := doReq(t, http.MethodDelete, ts.URL+"/faults", nil); r.StatusCode != http.StatusOK {
+		t.Fatal("clear plan failed")
+	}
+	resp, body = doReq(t, http.MethodPut, ts.URL+"/objects/hot", payload)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("retry put: %d %s", resp.StatusCode, body)
+	}
+	resp, body = doReq(t, http.MethodGet, ts.URL+"/objects/hot", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, payload) {
+		t.Fatalf("get after retry: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	// Parity must be consistent after the fault/retry dance.
+	resp, body = doReq(t, http.MethodPost, ts.URL+"/admin/scrub", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrub: %d", resp.StatusCode)
+	}
+	var scrub struct {
+		Corrupt []int `json:"corrupt_stripes"`
+	}
+	if err := json.Unmarshal(body, &scrub); err != nil || len(scrub.Corrupt) != 0 {
+		t.Fatalf("scrub after faulted commit: %s (err %v)", body, err)
+	}
+}
+
+// TestPutDuplicateConflictsWhilePending: the 409 contract holds even while
+// the first PUT is still waiting for its group commit, and the pending
+// object stays invisible to GET/HEAD until the ack.
+func TestPutDuplicateConflictsWhilePending(t *testing.T) {
+	ts, srv, _ := newWriteTestServer(t, Config{WAL: store.WALConfig{FlushInterval: time.Hour}})
+	payload := bytes.Repeat([]byte{7}, 100)
+
+	done := make(chan *http.Response, 1)
+	go func() {
+		r, _ := doReq(t, http.MethodPut, ts.URL+"/objects/dup", payload)
+		done <- r
+	}()
+	waitDepth(t, srv, 1)
+
+	if r, _ := doReq(t, http.MethodPut, ts.URL+"/objects/dup", payload); r.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate put while pending: %d; want 409", r.StatusCode)
+	}
+	if r, _ := doReq(t, http.MethodGet, ts.URL+"/objects/dup", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("pending object visible to GET: %d", r.StatusCode)
+	}
+	if r, _ := doReq(t, http.MethodHead, ts.URL+"/objects/dup", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("pending object visible to HEAD: %d", r.StatusCode)
+	}
+
+	if err := srv.WAL().Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if r := <-done; r.StatusCode != http.StatusCreated {
+		t.Fatalf("first put after sync: %d", r.StatusCode)
+	}
+	if r, body := doReq(t, http.MethodGet, ts.URL+"/objects/dup", nil); r.StatusCode != http.StatusOK || !bytes.Equal(body, payload) {
+		t.Fatalf("get after commit: %d", r.StatusCode)
+	}
+	if r, _ := doReq(t, http.MethodPut, ts.URL+"/objects/dup", payload); r.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate put after commit: %d; want 409", r.StatusCode)
+	}
+}
+
+// TestPutAfterCloseUnavailable: a drained server refuses writes with 503.
+func TestPutAfterCloseUnavailable(t *testing.T) {
+	ts, srv, _ := newWriteTestServer(t, Config{})
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	resp, _ := doReq(t, http.MethodPut, ts.URL+"/objects/late", []byte("x"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("put after close: %d; want 503", resp.StatusCode)
+	}
+}
+
+// waitDepth polls until the WAL holds n queued objects.
+func waitDepth(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got, _ := srv.WAL().Depth(); got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			got, _ := srv.WAL().Depth()
+			t.Fatalf("wal depth %d; want %d", got, n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

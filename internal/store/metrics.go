@@ -49,6 +49,14 @@ type Metrics struct {
 	hedgeWon       *obs.Counter
 	hedgeCancelled *obs.Counter
 	runBytes       *obs.Histogram
+
+	walQueuedObjects *obs.Gauge
+	walQueuedBytes   *obs.Gauge
+	walBatchObjects  *obs.Histogram
+	walBatchBytes    *obs.Histogram
+	walPutSeconds    *obs.Histogram
+	walCommitsOK     *obs.Counter
+	walCommitsFault  *obs.Counter
 }
 
 // NewMetrics registers the store's metric families for a disks-device array
@@ -97,8 +105,32 @@ func NewMetrics(reg *obs.Registry, disks int) *Metrics {
 	m.runBytes = reg.Histogram("ecfrm_store_read_run_bytes",
 		"Bytes per coalesced device run issued by the fan-out executor.",
 		obs.ExpBuckets(1024, 4, 9))
+	m.walQueuedObjects = reg.Gauge("ecfrm_wal_queued_objects",
+		"Objects accepted by the WAL and awaiting group commit.")
+	m.walQueuedBytes = reg.Gauge("ecfrm_wal_queued_bytes",
+		"User bytes queued in the WAL awaiting group commit.")
+	m.walBatchObjects = reg.Histogram("ecfrm_wal_batch_objects",
+		"Objects sealed per successful group commit.",
+		obs.ExpBuckets(1, 2, 11))
+	m.walBatchBytes = reg.Histogram("ecfrm_wal_batch_bytes",
+		"User bytes sealed per successful group commit.",
+		obs.ExpBuckets(4096, 4, 9))
+	m.walPutSeconds = reg.Histogram("ecfrm_wal_put_seconds",
+		"Time a WAL Put waited for its group commit (ack latency).",
+		requestSecondsBuckets)
+	m.walCommitsOK = reg.Counter("ecfrm_wal_commits_total",
+		"Group-commit attempts by outcome: ok (batch sealed) or fault (aborted whole, entries retained).",
+		obs.L("outcome", "ok"))
+	m.walCommitsFault = reg.Counter("ecfrm_wal_commits_total",
+		"Group-commit attempts by outcome: ok (batch sealed) or fault (aborted whole, entries retained).",
+		obs.L("outcome", "fault"))
 	return m
 }
+
+// requestSecondsBuckets spans 100µs to ~6.5s exponentially — resolves
+// sub-millisecond group-commit acks and degrades gracefully under injected
+// device latency.
+var requestSecondsBuckets = obs.ExpBuckets(1e-4, 4, 9)
 
 // observeRead records one completed read: its mode and its plan's max load.
 func (m *Metrics) observeRead(degraded bool, maxLoad int) {
@@ -166,6 +198,36 @@ func (m *Metrics) hedge(outcome string) {
 func (m *Metrics) observeRun(bytes int) {
 	if m != nil {
 		m.runBytes.Observe(float64(bytes))
+	}
+}
+
+// walDepth publishes the WAL's current queue depth.
+func (m *Metrics) walDepth(objects, bytes int) {
+	if m != nil {
+		m.walQueuedObjects.Set(float64(objects))
+		m.walQueuedBytes.Set(float64(bytes))
+	}
+}
+
+// walCommit records one group-commit attempt; ok batches also record their
+// size in objects and user bytes.
+func (m *Metrics) walCommit(ok bool, objects, bytes int) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.walCommitsOK.Inc()
+		m.walBatchObjects.Observe(float64(objects))
+		m.walBatchBytes.Observe(float64(bytes))
+	} else {
+		m.walCommitsFault.Inc()
+	}
+}
+
+// walPut records one Put's ack latency in seconds.
+func (m *Metrics) walPut(seconds float64) {
+	if m != nil {
+		m.walPutSeconds.Observe(seconds)
 	}
 }
 

@@ -854,16 +854,8 @@ func (s *Store) Heal(stripe int, pos layout.Pos) (bool, error) {
 func (s *Store) WriteAt(off int64, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if off < 0 || off%int64(s.elemSize) != 0 || len(data)%s.elemSize != 0 {
-		return fmt.Errorf("%w: write [%d,+%d) not element-aligned (element %d)",
-			ErrRange, off, len(data), s.elemSize)
-	}
-	sealed := int64(s.stripes) * int64(s.stripeBytes())
-	if off+int64(len(data)) > sealed {
-		return fmt.Errorf("%w: write [%d,+%d) beyond sealed extent %d", ErrRange, off, len(data), sealed)
-	}
-	if failed := s.failedDisksLocked(); len(failed) > 0 {
-		return fmt.Errorf("%w: cannot update with failed disks %v (recover first)", ErrFailed, failed)
+	if err := s.checkWriteArgs(off, data); err != nil {
+		return err
 	}
 	lay := s.scheme.Layout()
 	n := s.scheme.N()
@@ -932,6 +924,99 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 	}
 	for _, sw := range order {
 		s.devices[sw.disk].write(sw.k, overlay[sw.k])
+	}
+	s.bumpEpoch()
+	return nil
+}
+
+// checkWriteArgs validates an in-place overwrite request: element-aligned,
+// within the sealed extent, no failed disks. Caller holds mu exclusively.
+func (s *Store) checkWriteArgs(off int64, data []byte) error {
+	if off < 0 || off%int64(s.elemSize) != 0 || len(data)%s.elemSize != 0 {
+		return fmt.Errorf("%w: write [%d,+%d) not element-aligned (element %d)",
+			ErrRange, off, len(data), s.elemSize)
+	}
+	sealed := int64(s.stripes) * int64(s.stripeBytes())
+	if off+int64(len(data)) > sealed {
+		return fmt.Errorf("%w: write [%d,+%d) beyond sealed extent %d", ErrRange, off, len(data), sealed)
+	}
+	if failed := s.failedDisksLocked(); len(failed) > 0 {
+		return fmt.Errorf("%w: cannot update with failed disks %v (recover first)", ErrFailed, failed)
+	}
+	return nil
+}
+
+// WriteAtReencode performs the same overwrite as WriteAt through the naive
+// full-stripe path: every touched stripe's data elements are read back, the
+// new bytes merged in, the whole stripe re-encoded, and every cell of the
+// stripe rewritten. It exists as the measurable baseline the parity-delta
+// path is judged against — identical bytes, strictly more device I/O — and
+// shares WriteAt's atomicity: every write is fault-gated before any device
+// mutates, so a faulted update aborts whole.
+func (s *Store) WriteAtReencode(off int64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkWriteArgs(off, data); err != nil {
+		return err
+	}
+	lay := s.scheme.Layout()
+	n := s.scheme.N()
+	dps := s.scheme.DataPerStripe()
+	count := len(data) / s.elemSize
+	startElem := int(off / int64(s.elemSize))
+	endElem := startElem + count - 1
+
+	// Stage every touched stripe's full cell set first, then gate every
+	// write, then commit — nothing touches a device until every read
+	// succeeded and every write cleared its gate.
+	type stagedStripe struct {
+		stripe int
+		cells  [][]byte
+	}
+	var staged []stagedStripe
+	for stripe := startElem / dps; stripe <= endElem/dps; stripe++ {
+		shards := make([][]byte, dps)
+		for e := 0; e < dps; e++ {
+			x := stripe*dps + e
+			if x >= startElem && x <= endElem {
+				// Fully overwritten: no read needed. Copy — device cells must
+				// not alias caller-owned bytes.
+				i := x - startElem
+				shard := make([]byte, s.elemSize)
+				copy(shard, data[i*s.elemSize:(i+1)*s.elemSize])
+				shards[e] = shard
+				continue
+			}
+			pos := lay.DataPos(e)
+			cell, err := s.readCell(lay.Disk(stripe, pos.Col), cellKey{stripe, pos})
+			if err != nil {
+				return err
+			}
+			shards[e] = cell
+		}
+		cells, err := s.scheme.EncodeStripe(shards)
+		if err != nil {
+			return err
+		}
+		staged = append(staged, stagedStripe{stripe, cells})
+	}
+	for _, st := range staged {
+		for col := 0; col < n; col++ {
+			disk := lay.Disk(st.stripe, col)
+			for row := 0; row < lay.Rows(); row++ {
+				if err := s.writeGate(disk); err != nil {
+					return fmt.Errorf("store: reencode write [%d,+%d): %w", off, len(data), err)
+				}
+			}
+		}
+	}
+	for _, st := range staged {
+		for row := 0; row < lay.Rows(); row++ {
+			for col := 0; col < n; col++ {
+				pos := layout.Pos{Row: row, Col: col}
+				s.devices[lay.Disk(st.stripe, col)].write(cellKey{st.stripe, pos}, st.cells[row*n+col])
+			}
+		}
 	}
 	s.bumpEpoch()
 	return nil

@@ -1,0 +1,451 @@
+// Group-committed write path: a write-ahead log and packing layer that turns
+// many small synchronous appends into few full-stripe seals.
+//
+// The store's Append/Flush path is correct but brutal for small objects: each
+// object pays a whole-stripe encode and a whole-group device write (every
+// cell of every row), so a 4 KiB object on an RS(6,3) ecfrm layout writes 27
+// cells where packing would amortize it to ~1.5. The WAL fixes the write
+// amplification and the serialization at once:
+//
+//   - Put appends the object to an in-memory log and a FIFO queue and blocks
+//     on a per-object ack. Many goroutines enqueue concurrently; nobody holds
+//     the store's exclusive lock while waiting.
+//   - A group commit drains the queue as one batch: the concatenated bytes go
+//     through the store's ordinary Append (full-stripe encode via the
+//     zero-alloc kernels) and one Flush pads a single shared tail. Every
+//     waiter then learns its object's assigned offset at once.
+//   - Commits trigger by size (BatchBytes of queued data) or by time
+//     (FlushInterval after the first queued object), whichever comes first.
+//     The triggering Put becomes the commit leader — there is no resident
+//     flusher goroutine; an idle WAL owns no timers and no goroutines.
+//
+// Fault semantics compose with the store's two-phase gated writes: a seal
+// that trips the fault injector aborts whole, so a faulted group commit
+// commits nothing new. Waiters of that batch are told ErrUnavailable (the
+// condition is transient — HTTP surfaces it as 503 + Retry-After, exactly
+// like the read path) but their bytes are retained: the log still holds the
+// records and the queue still holds the entries, so the next commit attempt
+// — triggered by a later Put or the retry timer — re-seals them. Because the
+// store's own pending buffer survives a faulted seal, the WAL tracks how much
+// of the current batch has already been handed to the store and only hands
+// over the delta on retry: bytes are never appended twice.
+//
+// The log is replayable: ReplayWAL applied to a log snapshot rebuilds the
+// committed store byte-for-byte (commit records mark exactly which prefix of
+// objects sealed, and sealing is deterministic), which FuzzWALReplay checks
+// under random object sizes, batch boundaries, and crash points.
+//
+// While a WAL is attached to a store, all appends must go through it: the
+// offset bookkeeping assumes no other writer advances NextOffset between
+// hand-over and commit. (Reads, WriteAt updates, healing, and recovery touch
+// sealed stripes only and compose freely.)
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+)
+
+// ErrWALClosed is returned by Put after Close.
+var ErrWALClosed = errors.New("store: wal closed")
+
+// Default WAL thresholds: a batch commits once a stripe's worth of user data
+// has queued, or DefaultFlushInterval after the first object queued,
+// whichever comes first.
+const DefaultFlushInterval = 2 * time.Millisecond
+
+// WALConfig tunes the group-commit thresholds. The zero value is usable:
+// BatchBytes defaults to one stripe of user data, FlushInterval to
+// DefaultFlushInterval.
+type WALConfig struct {
+	// BatchBytes is the queued-byte threshold that triggers an immediate
+	// group commit. Zero or negative means one stripe's worth.
+	BatchBytes int
+	// FlushInterval bounds how long a queued object waits for company: a
+	// commit fires this long after the first object of a batch queued even
+	// if BatchBytes never accumulates. Zero or negative means
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
+}
+
+// walResult is the outcome of one entry's first commit attempt.
+type walResult struct {
+	off int64
+	err error
+}
+
+// walEntry is one queued object. res is buffered so the committer never
+// blocks on a departed waiter; it is nilled after the first notification —
+// an entry retained across a faulted commit has no one left to tell.
+type walEntry struct {
+	data []byte
+	res  chan walResult
+}
+
+// WAL is the group-commit batcher. Safe for concurrent use.
+type WAL struct {
+	st  *Store
+	cfg WALConfig
+
+	mu          sync.Mutex
+	queue       []*walEntry // FIFO; [0:handed) already handed to the store
+	queuedBytes int         // user bytes across queue
+	handed      int         // queue prefix whose bytes the store already buffers
+	batchBase   int64       // NextOffset when this batch first handed bytes over; -1 if none
+	log         []byte      // serialized put/commit records (see record format below)
+	flushing    bool        // a commit leader is active
+	timerSet    bool        // a FlushInterval timer is pending
+	closed      bool
+}
+
+// NewWAL attaches a group-commit write-ahead log to st. Install the store's
+// metrics (SetMetrics) before serving traffic if WAL instruments should
+// record.
+func NewWAL(st *Store, cfg WALConfig) *WAL {
+	if cfg.BatchBytes <= 0 {
+		cfg.BatchBytes = st.stripeBytes()
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	return &WAL{st: st, cfg: cfg, batchBase: -1}
+}
+
+// Config returns the resolved thresholds in effect.
+func (w *WAL) Config() WALConfig { return w.cfg }
+
+// Depth returns the number of objects and user bytes queued but not yet
+// committed — the WAL depth gauge's source of truth.
+func (w *WAL) Depth() (objects, bytes int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.queue), w.queuedBytes
+}
+
+// LogSnapshot returns a copy of the serialized log — every accepted object
+// and every successful commit, in order. Feeding any prefix of it (a crash
+// point) to ReplayWAL reproduces the store's committed state at that moment.
+func (w *WAL) LogSnapshot() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.log...)
+}
+
+// Put queues data for the next group commit and blocks until that commit
+// succeeds (returning the object's assigned store offset), fails (returning
+// the commit error — the bytes stay queued and a later commit will seal
+// them), or ctx is done. Data is copied; the caller may reuse it.
+func (w *WAL) Put(ctx context.Context, data []byte) (int64, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("store: wal: empty object")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	e := &walEntry{data: append([]byte(nil), data...), res: make(chan walResult, 1)}
+	res := e.res // e.res is nilled by the committer under w.mu; select on our copy
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrWALClosed
+	}
+	w.appendPutRecord(e.data)
+	w.queue = append(w.queue, e)
+	w.queuedBytes += len(e.data)
+	w.st.Metrics().walDepth(len(w.queue), w.queuedBytes)
+	lead := false
+	if w.queuedBytes >= w.cfg.BatchBytes && !w.flushing {
+		w.flushing = true
+		lead = true
+	} else if !w.flushing && !w.timerSet {
+		w.timerSet = true
+		time.AfterFunc(w.cfg.FlushInterval, w.timedFlush)
+	}
+	w.mu.Unlock()
+
+	if lead {
+		w.flush()
+	}
+	select {
+	case r := <-res:
+		w.st.Metrics().walPut(time.Since(start).Seconds())
+		return r.off, r.err
+	case <-ctx.Done():
+		// The entry stays queued: its bytes are in the log and will commit.
+		w.st.Metrics().walPut(time.Since(start).Seconds())
+		return 0, fmt.Errorf("store: wal put abandoned: %w", ctx.Err())
+	}
+}
+
+// Sync forces a group commit of everything currently queued and returns the
+// commit error, waiting out any concurrent leader first. An empty queue is a
+// no-op.
+func (w *WAL) Sync() error {
+	for {
+		w.mu.Lock()
+		if len(w.queue) == 0 {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.flushing {
+			w.mu.Unlock()
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		w.flushing = true
+		w.mu.Unlock()
+		err := w.flushOnce()
+		w.mu.Lock()
+		w.flushing = false
+		if err != nil && !w.closed && !w.timerSet && len(w.queue) > 0 {
+			w.timerSet = true
+			time.AfterFunc(w.cfg.FlushInterval, w.timedFlush)
+		}
+		w.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Close commits everything queued and marks the WAL closed; later Puts fail
+// with ErrWALClosed. If a commit error persists, the error is returned and
+// the un-committed entries stay in the log (a replay can still recover them).
+func (w *WAL) Close() error {
+	err := w.Sync()
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	return err
+}
+
+// timedFlush is the FlushInterval callback: commit whatever queued unless a
+// leader is already active (its own post-commit check covers late arrivals).
+func (w *WAL) timedFlush() {
+	w.mu.Lock()
+	w.timerSet = false
+	if w.flushing || w.closed || len(w.queue) == 0 {
+		w.mu.Unlock()
+		return
+	}
+	w.flushing = true
+	w.mu.Unlock()
+	w.flush()
+}
+
+// flush drains the queue through repeated group commits until it falls below
+// the byte threshold or a commit faults. Caller must have set w.flushing;
+// flush clears it before returning, arming the interval timer whenever
+// entries remain (late arrivals below the threshold, or a faulted batch
+// awaiting retry).
+func (w *WAL) flush() {
+	for {
+		err := w.flushOnce()
+		w.mu.Lock()
+		if err != nil || len(w.queue) == 0 || w.queuedBytes < w.cfg.BatchBytes {
+			w.flushing = false
+			if len(w.queue) > 0 && !w.closed && !w.timerSet {
+				w.timerSet = true
+				time.AfterFunc(w.cfg.FlushInterval, w.timedFlush)
+			}
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
+	}
+}
+
+// flushOnce performs one group commit of the queue snapshotted at entry.
+// Caller must hold the flushing flag (and releases it afterwards). On a
+// commit fault it notifies the batch's waiters, retains the entries, and
+// returns the error.
+func (w *WAL) flushOnce() error {
+	w.mu.Lock()
+	n := len(w.queue)
+	if n == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	batch := make([]*walEntry, n)
+	copy(batch, w.queue[:n])
+	toHand := batch[w.handed:]
+	base := w.batchBase
+	w.mu.Unlock()
+
+	// Hand the not-yet-handed suffix to the store, then seal. Device faults
+	// can sleep (injected latency, stuck-op timeouts), so no WAL lock is held
+	// here — Puts keep enqueueing into the next batch meanwhile. Append
+	// buffers bytes even when a seal inside it faults, so the handed
+	// watermark advances unconditionally; only the delta is ever re-handed.
+	var err error
+	if len(toHand) > 0 {
+		buf := make([]byte, 0, batchBytesOf(toHand))
+		for _, e := range toHand {
+			buf = append(buf, e.data...)
+		}
+		if base < 0 {
+			base = w.st.NextOffset()
+		}
+		err = w.st.Append(buf)
+	}
+	if err == nil {
+		err = w.st.Flush()
+	}
+
+	w.mu.Lock()
+	w.handed = n
+	w.batchBase = base
+	m := w.st.Metrics()
+	if err != nil {
+		cerr := fmt.Errorf("store: wal group commit: %w", err)
+		for _, e := range batch {
+			notify(e, 0, cerr)
+		}
+		m.walCommit(false, 0, 0)
+		w.mu.Unlock()
+		return cerr
+	}
+	bytes := batchBytesOf(batch)
+	off := base
+	for _, e := range batch {
+		notify(e, off, nil)
+		off += int64(len(e.data))
+	}
+	w.appendCommitRecord(n, base)
+	w.queue = w.queue[n:]
+	w.queuedBytes -= bytes
+	w.handed = 0
+	w.batchBase = -1
+	m.walCommit(true, n, bytes)
+	m.walDepth(len(w.queue), w.queuedBytes)
+	w.mu.Unlock()
+	return nil
+}
+
+func batchBytesOf(entries []*walEntry) int {
+	total := 0
+	for _, e := range entries {
+		total += len(e.data)
+	}
+	return total
+}
+
+// notify delivers an entry's first outcome; later outcomes (a retained
+// entry's eventual commit) have no waiter and are dropped.
+func notify(e *walEntry, off int64, err error) {
+	if e.res != nil {
+		e.res <- walResult{off, err}
+		e.res = nil
+	}
+}
+
+// Log record format (little-endian):
+//
+//	put:    'P' | u32 len | data       | u32 crc32c(data)
+//	commit: 'C' | u32 count | u64 base | u32 crc32c(count‖base)
+//
+// A put record logs one accepted object; a commit record marks the oldest
+// `count` logged-but-uncommitted objects as sealed starting at store offset
+// `base`. A torn or checksum-failing record ends the readable log — exactly
+// the crash-consistency a real on-disk WAL would give.
+const (
+	walRecPut    = 'P'
+	walRecCommit = 'C'
+)
+
+func (w *WAL) appendPutRecord(data []byte) {
+	var hdr [5]byte
+	hdr[0] = walRecPut
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(data)))
+	w.log = append(w.log, hdr[:]...)
+	w.log = append(w.log, data...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(data, castagnoli))
+	w.log = append(w.log, crc[:]...)
+}
+
+func (w *WAL) appendCommitRecord(count int, base int64) {
+	var rec [17]byte
+	rec[0] = walRecCommit
+	binary.LittleEndian.PutUint32(rec[1:], uint32(count))
+	binary.LittleEndian.PutUint64(rec[5:], uint64(base))
+	binary.LittleEndian.PutUint32(rec[13:], crc32.Checksum(rec[1:13], castagnoli))
+	w.log = append(w.log, rec[:]...)
+}
+
+// Extent locates one committed object inside the store's address space.
+type Extent struct {
+	Off  int64
+	Size int
+}
+
+// ReplayWAL replays a log (or any prefix of one — a crash point) into st,
+// re-performing every group commit: each commit record's objects are
+// concatenated, appended, and flush-padded exactly as the live commit did, so
+// the replayed store's sealed extent is byte-for-byte the committed state the
+// log describes. It returns the committed objects' extents in commit order.
+// Replay stops cleanly at a torn or corrupt record and verifies each commit's
+// base offset against the store being rebuilt.
+func ReplayWAL(log []byte, st *Store) ([]Extent, error) {
+	var queued [][]byte
+	var extents []Extent
+	for len(log) > 0 {
+		switch log[0] {
+		case walRecPut:
+			if len(log) < 5 {
+				return extents, nil // torn header
+			}
+			n := int(binary.LittleEndian.Uint32(log[1:5]))
+			if len(log) < 5+n+4 {
+				return extents, nil // torn payload
+			}
+			data := log[5 : 5+n]
+			crc := binary.LittleEndian.Uint32(log[5+n : 5+n+4])
+			if crc32.Checksum(data, castagnoli) != crc {
+				return extents, nil // corrupt record ends the readable log
+			}
+			queued = append(queued, data)
+			log = log[5+n+4:]
+		case walRecCommit:
+			if len(log) < 17 {
+				return extents, nil
+			}
+			if crc32.Checksum(log[1:13], castagnoli) != binary.LittleEndian.Uint32(log[13:17]) {
+				return extents, nil
+			}
+			count := int(binary.LittleEndian.Uint32(log[1:5]))
+			base := int64(binary.LittleEndian.Uint64(log[5:13]))
+			if count <= 0 || count > len(queued) {
+				return extents, fmt.Errorf("store: wal replay: commit of %d objects with %d queued", count, len(queued))
+			}
+			if got := st.NextOffset(); got != base {
+				return extents, fmt.Errorf("store: wal replay: commit base %d, store at %d", base, got)
+			}
+			var buf []byte
+			off := base
+			for _, data := range queued[:count] {
+				buf = append(buf, data...)
+				extents = append(extents, Extent{Off: off, Size: len(data)})
+				off += int64(len(data))
+			}
+			if err := st.Append(buf); err != nil {
+				return extents, fmt.Errorf("store: wal replay: %w", err)
+			}
+			if err := st.Flush(); err != nil {
+				return extents, fmt.Errorf("store: wal replay: %w", err)
+			}
+			queued = queued[count:]
+			log = log[17:]
+		default:
+			return extents, nil // unrecognized byte: treat as torn tail
+		}
+	}
+	return extents, nil
+}
