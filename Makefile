@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json disk-smoke disk-json
 
 all: build
 
@@ -78,6 +78,19 @@ writepath-smoke:
 writepath-json:
 	$(GO) run ./cmd/ecfrmbench -writepath BENCH_writepath.json
 
+# End-to-end crash-consistency check of the file backend against a real
+# daemon: concurrent PUTs, SIGKILL, restart on the same data directory —
+# every acked stripe must survive, scrub must come back clean, and the
+# per-device submission-queue metrics must be live.
+disk-smoke:
+	./scripts/disk-smoke.sh
+
+# The committed file-backend numbers (BENCH_disk.json): streaming write
+# throughput under fsync barriers, the disksim calibration fit with its
+# error bound, and sequential vs fan-out vs hedged reads on real files.
+disk-json:
+	$(GO) run ./cmd/ecfrmbench -disk BENCH_disk.json
+
 # A short fuzz run over the GF kernel equivalence target.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
@@ -91,4 +104,4 @@ chaos:
 	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
 		./internal/faultinject/ ./internal/shardio/
 
-ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke chaos
+ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke disk-smoke disk-json chaos

@@ -91,6 +91,7 @@ func cmdEncode(args []string) error {
 	elem := fs.Int("elem", 64<<10, "element size in bytes")
 	parallel := parallelFlag(fs)
 	buffered := fs.Bool("buffered", false, "buffer the whole payload in memory instead of streaming")
+	fsync := fs.Bool("fsync", false, "fsync shard files, manifest, and directory after encoding")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +123,11 @@ func cmdEncode(args []string) error {
 		defer f.Close()
 		man, err = shardio.EncodeStream(scheme, f, *out, *elem, base, workersOf(*parallel))
 		if err != nil {
+			return err
+		}
+	}
+	if *fsync {
+		if err := shardio.Sync(scheme, *out); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,379 @@
+// Real-disk benchmark mode: -disk <path> exercises the file-backed device
+// layer end to end and writes BENCH_disk.json with three sections:
+//
+//   - Write: streaming Append+Flush throughput under the FsyncAlways
+//     commit discipline (write, fsync barrier, publish).
+//   - Calibration: per-element read latencies at several element sizes are
+//     fed to disksim.Calibrate, fitting the simulator's affine model
+//     (latency = positioning + bytes/bandwidth) to THIS machine's backing
+//     store. The report records the fitted constants, the mean absolute
+//     relative error of the fit (the documented error bound), and each
+//     size's measured-vs-predicted latency.
+//   - Reads: sequential vs fan-out vs hedged executors over the file
+//     backend, both raw and under an injected one-slow-device plan — the
+//     same comparison BENCH_fanout.json makes for the memory backend,
+//     driven here through real per-device submission queues.
+//
+// Every read is byte-verified against the original payload.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disksim"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/rs"
+	"repro/internal/store"
+)
+
+const (
+	// diskWriteBytes sizes the streaming-write measurement.
+	diskWriteBytes = 32 << 20
+	// diskCalSamplesPerSize per element size; the calibration spans the
+	// cross product.
+	diskCalSamplesPerSize = 40
+	// diskReadReps per executor configuration in the comparison sweep.
+	diskReadReps = 15
+	// diskReadElems is the width of one timed read, matching the fan-out
+	// benchmark's 64-cell normal read.
+	diskReadElems = 64
+	// diskReadElemBytes keeps the comparison I/O-shaped, matching
+	// fanoutElemBytes.
+	diskReadElemBytes = 4 << 10
+)
+
+type diskCalPoint struct {
+	ElemBytes      int     `json:"elem_bytes"`
+	MeasuredP50Us  float64 `json:"measured_p50_us"`
+	PredictedUs    float64 `json:"predicted_us"`
+	RelativeErrP50 float64 `json:"relative_err_p50"`
+}
+
+type diskCalibration struct {
+	PositioningUs float64 `json:"positioning_us"`
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+	// MeanAbsRelErr is disksim.CalibrationError over the per-size median
+	// latencies the fit used — the error bound within which the calibrated
+	// simulator predicts this device's typical per-element read latency.
+	MeanAbsRelErr float64        `json:"mean_abs_rel_err"`
+	Samples       int            `json:"samples"`
+	Points        []diskCalPoint `json:"points"`
+}
+
+type diskReadResult struct {
+	Scenario            string  `json:"scenario"`
+	Executor            string  `json:"executor"`
+	Concurrency         int     `json:"concurrency,omitempty"`
+	Hedged              bool    `json:"hedged,omitempty"`
+	P50Ms               float64 `json:"p50_ms"`
+	P99Ms               float64 `json:"p99_ms"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
+type diskReport struct {
+	GOOS         string           `json:"goos"`
+	GOARCH       string           `json:"goarch"`
+	CPUs         int              `json:"cpus"`
+	Timestamp    string           `json:"timestamp"`
+	Scheme       string           `json:"scheme"`
+	Direct       bool             `json:"direct"`
+	WriteMBps    float64          `json:"write_mbps"`
+	WriteBytes   int              `json:"write_bytes"`
+	Calibration  diskCalibration  `json:"calibration"`
+	ReadElems    int              `json:"read_elems"`
+	ReadElemSize int              `json:"read_elem_bytes"`
+	Reps         int              `json:"reps"`
+	Results      []diskReadResult `json:"results"`
+}
+
+// diskStore builds a sealed file-backed store in its own subdirectory of
+// root, filled with a random payload of elems elements.
+func diskStore(root, sub string, form layout.Form, elemBytes, elems int, direct bool) (*store.Store, []byte, error) {
+	code, err := rs.New(6, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	scheme, err := core.NewScheme(code, form)
+	if err != nil {
+		return nil, nil, err
+	}
+	dir := root + "/" + sub
+	st, _, err := store.OpenFileBacked(scheme, elemBytes, store.FileConfig{Dir: dir, Direct: direct})
+	if err != nil {
+		return nil, nil, err
+	}
+	payload := make([]byte, elems*elemBytes)
+	rand.New(rand.NewSource(42)).Read(payload)
+	if err := st.Append(payload); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	if err := st.Flush(); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, payload, nil
+}
+
+// runDiskWrite measures streaming write throughput (Append+Flush under the
+// fsync barrier discipline) into rep.
+func runDiskWrite(root string, rep *diskReport, direct bool) error {
+	code, err := rs.New(6, 3)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.NewScheme(code, layout.FormECFRM)
+	if err != nil {
+		return err
+	}
+	st, _, err := store.OpenFileBacked(scheme, 64<<10, store.FileConfig{Dir: root + "/write", Direct: direct})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rep.Scheme = scheme.Name()
+	payload := make([]byte, diskWriteBytes)
+	rand.New(rand.NewSource(7)).Read(payload)
+	chunk := 1 << 20
+	start := time.Now()
+	for off := 0; off < len(payload); off += chunk {
+		if err := st.Append(payload[off : off+chunk]); err != nil {
+			return err
+		}
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rep.WriteBytes = diskWriteBytes
+	rep.WriteMBps = float64(diskWriteBytes) / 1e6 / elapsed.Seconds()
+	fmt.Printf("write: %d MiB in %v through fsync barriers = %.1f MB/s\n",
+		diskWriteBytes>>20, elapsed.Round(time.Millisecond), rep.WriteMBps)
+	return nil
+}
+
+// runDiskCalibration measures per-element read latency at several element
+// sizes, fits the disksim model, and records fit quality.
+func runDiskCalibration(root string, rep *diskReport, direct bool) error {
+	sizes := []int{16 << 10, 64 << 10, 256 << 10}
+	var samples []disksim.Sample
+	perSize := make(map[int][]time.Duration)
+	for _, elemBytes := range sizes {
+		// 256 elements per store keeps each directory modest while giving
+		// the offset rotation room to defeat short-range locality.
+		st, payload, err := diskStore(root, fmt.Sprintf("cal-%d", elemBytes),
+			layout.FormECFRM, elemBytes, 256, direct)
+		if err != nil {
+			return err
+		}
+		seq := store.ReadOptions{Sequential: true}
+		for i := 0; i < diskCalSamplesPerSize; i++ {
+			off := int64(((i * 37) % 255) * elemBytes)
+			start := time.Now()
+			res, err := st.ReadAtCtx(context.Background(), off, elemBytes, seq)
+			lat := time.Since(start)
+			if err != nil {
+				st.Close()
+				return err
+			}
+			if !bytes.Equal(res.Data, payload[off:off+int64(elemBytes)]) {
+				st.Close()
+				return fmt.Errorf("calibration payload mismatch at %d", off)
+			}
+			if i < 4 {
+				continue // warmup: pools, first-touch page faults
+			}
+			samples = append(samples, disksim.Sample{ElemBytes: elemBytes, Latency: lat})
+			perSize[elemBytes] = append(perSize[elemBytes], lat)
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	// Fit on the per-size medians: page-cache read latencies have heavy
+	// right tails (scheduler preemption, writeback interference), and a
+	// least-squares fit over raw samples chases those outliers. The median
+	// per size is the stable signal the simulator should reproduce.
+	var medians []disksim.Sample
+	for _, elemBytes := range sizes {
+		lats := append([]time.Duration(nil), perSize[elemBytes]...)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		medians = append(medians, disksim.Sample{ElemBytes: elemBytes, Latency: lats[len(lats)/2]})
+	}
+	cfg, err := disksim.Calibrate(medians)
+	if err != nil {
+		return err
+	}
+	rep.Calibration = diskCalibration{
+		PositioningUs: cfg.Positioning.Seconds() * 1e6,
+		BandwidthMBps: cfg.BandwidthMBps,
+		MeanAbsRelErr: disksim.CalibrationError(cfg, medians),
+		Samples:       len(samples),
+	}
+	fmt.Printf("calibration: positioning %.1f µs, bandwidth %.1f MB/s over %d samples (mean |rel err| vs p50 %.1f%%)\n",
+		rep.Calibration.PositioningUs, rep.Calibration.BandwidthMBps,
+		len(samples), rep.Calibration.MeanAbsRelErr*100)
+	for _, elemBytes := range sizes {
+		lats := perSize[elemBytes]
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50 := lats[len(lats)/2].Seconds()
+		pred := cfg.Positioning.Seconds() + float64(elemBytes)/(cfg.BandwidthMBps*1e6)
+		pt := diskCalPoint{
+			ElemBytes:      elemBytes,
+			MeasuredP50Us:  p50 * 1e6,
+			PredictedUs:    pred * 1e6,
+			RelativeErrP50: (pred - p50) / p50,
+		}
+		rep.Calibration.Points = append(rep.Calibration.Points, pt)
+		fmt.Printf("  %4d KiB: measured p50 %8.1f µs, model %8.1f µs (%+.1f%%)\n",
+			elemBytes>>10, pt.MeasuredP50Us, pt.PredictedUs, pt.RelativeErrP50*100)
+	}
+	return nil
+}
+
+// runDiskReads compares the executors over the file backend, raw and with
+// one slow device.
+func runDiskReads(root string, rep *diskReport, direct bool) error {
+	scenarios := []struct {
+		name     string
+		policies []faultinject.Policy
+	}{
+		{"raw", nil},
+		{"one-slow-disk", []faultinject.Policy{{Device: 0, Latency: 10 * time.Millisecond}}},
+	}
+	configs := []fanoutConfig{
+		{"sequential", store.ReadOptions{Sequential: true}},
+		{"fanout-c8", store.ReadOptions{Concurrency: 8}},
+		{"fanout-c8-hedge", store.ReadOptions{Concurrency: 8, Hedge: store.HedgeConfig{
+			Enabled:  true,
+			Quantile: 0.5,
+			Min:      time.Millisecond,
+			Max:      2 * time.Millisecond,
+		}}},
+	}
+	fmt.Printf("%-16s %-16s %9s %9s %9s\n", "scenario", "config", "p50 ms", "p99 ms", "speedup")
+	for _, sc := range scenarios {
+		st, payload, err := diskStore(root, "reads-"+sc.name, layout.FormECFRM,
+			diskReadElemBytes, 4*diskReadElems, direct)
+		if err != nil {
+			return err
+		}
+		if sc.policies != nil {
+			st.SetFaultInjector(faultinject.New(faultinject.Plan{Seed: 9, Policies: sc.policies}))
+		}
+		length := diskReadElems * diskReadElemBytes
+		readOnce := func(opts store.ReadOptions, off int64) (time.Duration, error) {
+			start := time.Now()
+			res, err := st.ReadAtCtx(context.Background(), off, length, opts)
+			elapsed := time.Since(start)
+			if err != nil {
+				return 0, err
+			}
+			if !bytes.Equal(res.Data, payload[off:off+int64(length)]) {
+				return 0, fmt.Errorf("payload mismatch at offset %d", off)
+			}
+			return elapsed, nil
+		}
+		offAt := func(i int) int64 {
+			return int64(((i * 8) % (4*diskReadElems - diskReadElems)) * diskReadElemBytes)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := readOnce(store.ReadOptions{}, offAt(i)); err != nil {
+				st.Close()
+				return fmt.Errorf("scenario %s warmup: %w", sc.name, err)
+			}
+		}
+		var seqP50 time.Duration
+		for _, cfg := range configs {
+			lats := make([]time.Duration, 0, diskReadReps)
+			for i := 0; i < diskReadReps; i++ {
+				d, err := readOnce(cfg.opts, offAt(i))
+				if err != nil {
+					st.Close()
+					return fmt.Errorf("scenario %s %s: %w", sc.name, cfg.name, err)
+				}
+				lats = append(lats, d)
+			}
+			sort.Slice(lats, func(x, y int) bool { return lats[x] < lats[y] })
+			p50, p99 := lats[len(lats)/2], lats[(len(lats)*99)/100]
+			if cfg.opts.Sequential {
+				seqP50 = p50
+			}
+			speedup := 1.0
+			if !cfg.opts.Sequential && p50 > 0 {
+				speedup = float64(seqP50) / float64(p50)
+			}
+			r := diskReadResult{
+				Scenario:            sc.name,
+				Executor:            cfg.name,
+				Concurrency:         cfg.opts.Concurrency,
+				Hedged:              cfg.opts.Hedge.Enabled,
+				P50Ms:               float64(p50) / 1e6,
+				P99Ms:               float64(p99) / 1e6,
+				SpeedupVsSequential: speedup,
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-16s %-16s %9.2f %9.2f %8.1fx\n",
+				sc.name, cfg.name, r.P50Ms, r.P99Ms, r.SpeedupVsSequential)
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDiskBench runs the three sections over a temporary directory and
+// writes the JSON report to path.
+func runDiskBench(path string, direct bool) error {
+	root, err := os.MkdirTemp("", "ecfrm-disk-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	rep := diskReport{
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.GOMAXPROCS(0),
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		Direct:       direct,
+		ReadElems:    diskReadElems,
+		ReadElemSize: diskReadElemBytes,
+		Reps:         diskReadReps,
+	}
+	fmt.Printf("file-backend disk benchmark in %s\n", root)
+	if err := runDiskWrite(root, &rep, direct); err != nil {
+		return err
+	}
+	if err := runDiskCalibration(root, &rep, direct); err != nil {
+		return err
+	}
+	if err := runDiskReads(root, &rep, direct); err != nil {
+		return err
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -43,6 +43,8 @@ func main() {
 		readpathMB  = flag.Int64("readpath-bytes", 0, "readpath payload size in bytes (0 = 256 MiB)")
 		fanoutOut   = flag.String("fanout", "", "run the fan-out read executor benchmark and write JSON to this path (e.g. BENCH_fanout.json), then exit")
 		writepath   = flag.String("writepath", "", "run the group-commit write path benchmark and write JSON to this path (e.g. BENCH_writepath.json), then exit")
+		diskOut     = flag.String("disk", "", "run the file-backend disk benchmark and write JSON to this path (e.g. BENCH_disk.json), then exit")
+		diskDirect  = flag.Bool("disk-direct", false, "request O_DIRECT on the disk benchmark's device files")
 		parallel    = flag.Int("parallel", 0, "measure figure (code, form) cells across this many workers; results are bit-identical to sequential")
 	)
 	flag.Parse()
@@ -71,6 +73,13 @@ func main() {
 	if *writepath != "" {
 		if err := runWritepathBench(*writepath); err != nil {
 			fmt.Fprintln(os.Stderr, "writepath:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diskOut != "" {
+		if err := runDiskBench(*diskOut, *diskDirect); err != nil {
+			fmt.Fprintln(os.Stderr, "disk:", err)
 			os.Exit(1)
 		}
 		return

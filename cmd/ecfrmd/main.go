@@ -43,6 +43,21 @@
 // triggers an immediate commit (default one stripe of user data);
 // -wal-flush-interval bounds how long a lone PUT waits for company.
 //
+// Storage backend: by default the store lives in memory and dies with the
+// process. -backend=file puts one data/checksum file pair per device in
+// -data-dir, fronted by per-device async submission queues, and makes
+// commits crash-consistent (write, fsync barrier, then publish; tune with
+// -fsync=always|never and -direct). Startup re-derives the sealed extent
+// from the files, heals torn cells, truncates torn tails, and replays the
+// spilled WAL (-wal-log, default <data-dir>/wal.log):
+//
+//	ecfrmd -backend=file -data-dir /var/lib/ecfrm
+//	curl -X PUT --data-binary @song.mp3 localhost:8080/objects/song.mp3
+//	# kill -9, restart with the same -data-dir: the bytes are still there
+//
+// Object names live only in httpd memory for now, so after a restart
+// recovered bytes are reachable by offset (store-level), not by name.
+//
 // The daemon shuts down gracefully: SIGINT/SIGTERM stops accepting new
 // connections, drains in-flight requests for up to 10 seconds, then commits
 // anything still queued in the WAL.
@@ -57,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -80,6 +96,11 @@ func main() {
 		m        = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
 		form     = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
 		elem     = flag.Int("elem", 64<<10, "element size in bytes")
+		backend  = flag.String("backend", "mem", "device backend: mem (volatile) or file (one data/crc file pair per device)")
+		dataDir  = flag.String("data-dir", "", "data directory for -backend=file")
+		fsync    = flag.String("fsync", "always", "file backend durability: always (fsync barrier per commit) or never")
+		direct   = flag.Bool("direct", false, "request O_DIRECT on device data files (needs 4KiB-aligned -elem)")
+		walLog   = flag.String("wal-log", "", "WAL spill file (default <data-dir>/wal.log with -backend=file; empty with mem)")
 		faults   = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
 		obsOn    = flag.Bool("obs", false, "enable pprof endpoints and the periodic load-imbalance log line")
 		obsEvery = flag.Duration("obs-interval", 10*time.Second, "load-imbalance log interval (with -obs)")
@@ -117,9 +138,47 @@ func main() {
 	if err != nil {
 		log.Fatal("ecfrmd: ", err)
 	}
-	st, err := store.New(scheme, *elem)
-	if err != nil {
-		log.Fatal("ecfrmd: ", err)
+	var st *store.Store
+	switch *backend {
+	case "mem":
+		if st, err = store.New(scheme, *elem); err != nil {
+			log.Fatal("ecfrmd: ", err)
+		}
+	case "file":
+		if *dataDir == "" {
+			log.Fatal("ecfrmd: -backend=file requires -data-dir")
+		}
+		if *fsync != string(store.FsyncAlways) && *fsync != string(store.FsyncNever) {
+			log.Fatalf("ecfrmd: unknown -fsync mode %q (always or never)", *fsync)
+		}
+		var report *store.RecoveryReport
+		st, report, err = store.OpenFileBacked(scheme, *elem, store.FileConfig{
+			Dir:    *dataDir,
+			Fsync:  store.FsyncMode(*fsync),
+			Direct: *direct,
+		})
+		if err != nil {
+			log.Fatal("ecfrmd: ", err)
+		}
+		log.Printf("file backend %s: %d stripes recovered (healed %d cells, re-encoded %d stripes, truncated %d torn stripes, O_DIRECT=%v)",
+			*dataDir, report.Stripes, report.HealedCells, report.ReencodedStripes,
+			report.TruncatedStripes, report.DirectActive)
+		if *walLog == "" {
+			*walLog = filepath.Join(*dataDir, "wal.log")
+		}
+		// Replay the spilled WAL before the new WAL attaches (attaching
+		// truncates the file): commits that hardened in the log but not on
+		// the devices are re-applied; orphaned un-acked puts are dropped.
+		extents, dropped, err := store.RecoverWALFile(*walLog, st)
+		if err != nil {
+			log.Fatal("ecfrmd: wal recovery: ", err)
+		}
+		if len(extents) > 0 || dropped > 0 {
+			log.Printf("wal log %s: %d committed objects verified, %d un-acked puts dropped",
+				*walLog, len(extents), dropped)
+		}
+	default:
+		log.Fatalf("ecfrmd: unknown backend %q (mem or file)", *backend)
 	}
 	if *faults != "" {
 		blob, err := os.ReadFile(*faults)
@@ -147,7 +206,7 @@ func main() {
 	handler := httpd.NewServerWith(st, httpd.Config{
 		Registry:    reg,
 		EnablePprof: *obsOn,
-		WAL:         store.WALConfig{BatchBytes: *walBatch, FlushInterval: *walEvery},
+		WAL:         store.WALConfig{BatchBytes: *walBatch, FlushInterval: *walEvery, LogPath: *walLog},
 	})
 
 	srv := &http.Server{
@@ -223,9 +282,13 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal("ecfrmd: ", err)
 		}
-		// The listener is drained; commit any queued PUTs and stop the WAL.
+		// The listener is drained; commit any queued PUTs and stop the WAL,
+		// then seal the backend (file: manifest write + final fsync).
 		if err := handler.Close(); err != nil {
 			log.Fatal("ecfrmd: wal close: ", err)
+		}
+		if err := st.Close(); err != nil {
+			log.Fatal("ecfrmd: store close: ", err)
 		}
 		log.Print("drained, bye")
 	}

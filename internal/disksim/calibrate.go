@@ -1,0 +1,116 @@
+package disksim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sample is one measured device access: how long a read of ElemBytes took
+// end to end on a real backing device.
+type Sample struct {
+	ElemBytes int
+	Latency   time.Duration
+}
+
+// Calibrate fits the simulator's affine latency model
+//
+//	latency = Positioning + elemBytes / bandwidth
+//
+// to real measurements by ordinary least squares over (elemBytes, latency)
+// pairs — the file backend's benchmark feeds it per-element read timings and
+// gets back a Config whose simulated array predicts that device. Jitter
+// fields are set from the residual spread around the fit (relative
+// half-width, clamped to the simulator's [0,1) domain).
+//
+// Degenerate inputs are clamped rather than failed: a non-positive fitted
+// slope (latency not growing with size — measurement noise on a cached or
+// very fast device) falls back to attributing the mean latency entirely to
+// positioning with the default bandwidth, and a negative intercept (pure
+// streaming device) to zero positioning with the fitted marginal bandwidth.
+func Calibrate(samples []Sample) (Config, error) {
+	if len(samples) < 2 {
+		return Config{}, fmt.Errorf("disksim: calibration needs at least 2 samples, got %d", len(samples))
+	}
+	var sumX, sumY, sumXX, sumXY float64
+	for _, s := range samples {
+		x := float64(s.ElemBytes)
+		y := s.Latency.Seconds()
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	n := float64(len(samples))
+	meanX, meanY := sumX/n, sumY/n
+	varX := sumXX/n - meanX*meanX
+
+	cfg := DefaultConfig()
+	var slope, intercept float64 // seconds per byte, seconds
+	if varX <= 0 {
+		// All samples share one element size: the split between positioning
+		// and transfer is unidentifiable. Keep the default bandwidth where
+		// it fits under the mean latency (the excess becomes positioning);
+		// if even pure transfer at the default rate over-predicts, attribute
+		// everything to transfer so the mean is still reproduced exactly.
+		slope = 1 / (cfg.BandwidthMBps * 1e6)
+		if meanX > 0 && slope > meanY/meanX {
+			slope = meanY / meanX
+		}
+		intercept = meanY - slope*meanX
+	} else {
+		slope = (sumXY/n - meanX*meanY) / varX
+		intercept = meanY - slope*meanX
+	}
+	if slope <= 0 {
+		slope = 1 / (cfg.BandwidthMBps * 1e6)
+		intercept = meanY - slope*meanX
+	}
+	if intercept < 0 {
+		intercept = 0
+	}
+	cfg.Positioning = time.Duration(intercept * float64(time.Second))
+	cfg.BandwidthMBps = 1 / (slope * 1e6)
+
+	// Jitter: relative spread of the residuals around the fitted line.
+	var maxRel float64
+	for _, s := range samples {
+		pred := intercept + slope*float64(s.ElemBytes)
+		if pred <= 0 {
+			continue
+		}
+		if rel := math.Abs(s.Latency.Seconds()-pred) / pred; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.95 {
+		maxRel = 0.95
+	}
+	cfg.PositioningJitter = maxRel
+	cfg.BandwidthJitter = maxRel
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("disksim: calibration produced invalid config: %w", err)
+	}
+	return cfg, nil
+}
+
+// CalibrationError reports how well cfg's noise-free latency model predicts
+// the samples: the mean absolute relative error of
+// Positioning + elemBytes/bandwidth against each measured latency. This is
+// the documented error bound of a calibration — benchmarks record it next
+// to the fitted constants.
+func CalibrationError(cfg Config, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		pred := cfg.Positioning.Seconds() + float64(s.ElemBytes)/(cfg.BandwidthMBps*1e6)
+		meas := s.Latency.Seconds()
+		if meas <= 0 {
+			continue
+		}
+		sum += math.Abs(pred-meas) / meas
+	}
+	return sum / float64(len(samples))
+}

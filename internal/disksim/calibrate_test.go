@@ -1,0 +1,130 @@
+package disksim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCalibrateRecoversKnownModel(t *testing.T) {
+	// Synthesize samples from a known affine model with mild noise and
+	// check the fit recovers it.
+	const (
+		positioning = 8 * time.Millisecond
+		mbps        = 120.0
+	)
+	rng := rand.New(rand.NewSource(42))
+	var samples []Sample
+	for _, kb := range []int{4, 16, 64, 256, 1024, 4096} {
+		for i := 0; i < 8; i++ {
+			bytes := kb * 1024
+			exact := positioning.Seconds() + float64(bytes)/(mbps*1e6)
+			noisy := exact * (1 + 0.05*(2*rng.Float64()-1))
+			samples = append(samples, Sample{bytes, time.Duration(noisy * float64(time.Second))})
+		}
+	}
+	cfg, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Positioning.Seconds(); math.Abs(got-positioning.Seconds()) > 0.25*positioning.Seconds() {
+		t.Fatalf("Positioning = %v, want ~%v", cfg.Positioning, positioning)
+	}
+	if math.Abs(cfg.BandwidthMBps-mbps) > 0.15*mbps {
+		t.Fatalf("BandwidthMBps = %v, want ~%v", cfg.BandwidthMBps, mbps)
+	}
+	if e := CalibrationError(cfg, samples); e > 0.08 {
+		t.Fatalf("CalibrationError = %v, want <= 5%% noise + fit slack", e)
+	}
+}
+
+func TestCalibrateExactFitHasZeroError(t *testing.T) {
+	cfg0 := Config{Positioning: 2 * time.Millisecond, BandwidthMBps: 80}
+	var samples []Sample
+	for _, b := range []int{1 << 12, 1 << 16, 1 << 20} {
+		lat := cfg0.Positioning.Seconds() + float64(b)/(cfg0.BandwidthMBps*1e6)
+		samples = append(samples, Sample{b, time.Duration(lat * float64(time.Second))})
+	}
+	cfg, err := Calibrate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := CalibrationError(cfg, samples); e > 1e-6 {
+		t.Fatalf("exact samples should fit exactly, error = %v", e)
+	}
+	if cfg.PositioningJitter > 1e-6 || cfg.BandwidthJitter > 1e-6 {
+		t.Fatalf("exact samples should fit with no jitter: %+v", cfg)
+	}
+}
+
+func TestCalibrateDegenerateInputs(t *testing.T) {
+	if _, err := Calibrate(nil); err == nil {
+		t.Fatal("empty sample set must fail")
+	}
+	if _, err := Calibrate([]Sample{{4096, time.Millisecond}}); err == nil {
+		t.Fatal("single sample must fail")
+	}
+
+	// One element size only: unidentifiable split, but still a valid config
+	// that predicts the mean latency.
+	same := []Sample{
+		{1 << 20, 12 * time.Millisecond},
+		{1 << 20, 14 * time.Millisecond},
+		{1 << 20, 13 * time.Millisecond},
+	}
+	cfg, err := Calibrate(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e := CalibrationError(cfg, same); e > 0.10 {
+		t.Fatalf("single-size calibration error %v too large", e)
+	}
+
+	// Latency shrinking with size (pure noise): slope clamp must keep the
+	// config valid instead of producing a negative bandwidth.
+	noisy := []Sample{
+		{1 << 12, 10 * time.Millisecond},
+		{1 << 20, 5 * time.Millisecond},
+	}
+	cfg, err = Calibrate(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BandwidthMBps <= 0 || cfg.Positioning < 0 {
+		t.Fatalf("clamp failed: %+v", cfg)
+	}
+}
+
+func TestCalibratedArrayPredictsMeasurement(t *testing.T) {
+	// End-to-end: feed measurements into Calibrate, build an Array from the
+	// result with jitter zeroed, and check single-access service time lands
+	// on the measured latency within the documented bound.
+	meas := []Sample{
+		{64 * 1024, 3 * time.Millisecond},
+		{256 * 1024, 6 * time.Millisecond},
+		{1 << 20, 18 * time.Millisecond},
+	}
+	cfg, err := Calibrate(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PositioningJitter = 0
+	cfg.BandwidthJitter = 0
+	a, err := NewArray(1, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := CalibrationError(cfg, meas)
+	for _, m := range meas {
+		got := a.DiskTime(0, 1, m.ElemBytes).Seconds()
+		rel := math.Abs(got-m.Latency.Seconds()) / m.Latency.Seconds()
+		if rel > bound+0.01 {
+			t.Fatalf("ServiceTime(%d bytes) = %vs, measured %v: off by %.1f%% > bound %.1f%%",
+				m.ElemBytes, got, m.Latency, rel*100, (bound+0.01)*100)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package shardio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// Sync makes an encoded shard directory durable: every disk shard file, the
+// manifest, and the directory itself are fsynced, in that order. Encode and
+// EncodeStream deliberately leave flushing to the OS (bulk encoding is
+// throughput-bound); callers that need the crash-safety of the store's
+// FsyncAlways discipline run Sync once after encoding — a directory Sync
+// returns from survives a crash or power cut in its entirety.
+//
+// Missing disk files are skipped (a degraded directory is still a valid
+// one); a missing manifest is an error, since a directory without one can
+// never be decoded.
+func Sync(scheme *core.Scheme, dir string) error {
+	for d := 0; d < scheme.N(); d++ {
+		if err := syncFile(DiskFile(dir, d)); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("shardio: sync disk %d: %w", d, err)
+		}
+	}
+	if err := syncFile(filepath.Join(dir, manifestFile)); err != nil {
+		return fmt.Errorf("shardio: sync manifest: %w", err)
+	}
+	if err := syncFile(dir); err != nil {
+		return fmt.Errorf("shardio: sync directory: %w", err)
+	}
+	return nil
+}
+
+// syncFile opens path read-only and fsyncs it. Works for directories too:
+// on the filesystems that require directory fsync for rename/create
+// durability, this is how it is issued.
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,28 @@
+package shardio
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSyncShardDirectory(t *testing.T) {
+	dir := t.TempDir()
+	encodeSample(t, dir, 50_000, 9)
+	if err := Sync(scheme622(t), dir); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	// Degraded directories sync too: losing shard files must not fail.
+	if err := os.Remove(DiskFile(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sync(scheme622(t), dir); err != nil {
+		t.Fatalf("Sync degraded: %v", err)
+	}
+
+	// A manifest-less directory can never decode; Sync refuses it.
+	empty := t.TempDir()
+	if err := Sync(scheme622(t), empty); err == nil {
+		t.Fatal("Sync accepted a directory without a manifest")
+	}
+}

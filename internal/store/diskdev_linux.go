@@ -1,0 +1,10 @@
+//go:build linux
+
+package store
+
+import "syscall"
+
+// oDirectFlag is the open(2) flag requesting direct I/O on Linux. Data-file
+// opens OR it in when FileConfig.Direct is set and the element size is
+// directAlign-aligned; filesystems that refuse it fall back to buffered.
+const oDirectFlag = syscall.O_DIRECT

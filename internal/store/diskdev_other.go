@@ -1,0 +1,8 @@
+//go:build !linux
+
+package store
+
+// oDirectFlag is zero off Linux: O_DIRECT is not portable, so the file
+// backend silently serves buffered I/O there (RecoveryReport.DirectActive
+// reports the downgrade).
+const oDirectFlag = 0

@@ -597,16 +597,34 @@ func (p *fanoutPass) execRun(ctx context.Context, run devRun, staged [][]byte) e
 			continue
 		}
 		var readErr error
-		for i, sl := range run.slots {
-			data, err := d.read(sl.key)
+		if _, bulk := d.be.(runIO); bulk && len(run.slots) > 1 {
+			// Bulk backend (file-backed device): the whole coalesced run is
+			// one positioned pread through the submission queue — the modeled
+			// one-positioning-cost-per-run now literally holds on disk.
+			cells, err := d.readRun(run.slots[0].key, len(run.slots))
 			if err != nil {
 				readErr = err
-				break
-			}
-			if staged != nil {
-				staged[i] = data
 			} else {
-				p.fetched[sl.stripe-p.startStripe].cells[sl.idx] = data
+				for i, sl := range run.slots {
+					if staged != nil {
+						staged[i] = cells[i]
+					} else {
+						p.fetched[sl.stripe-p.startStripe].cells[sl.idx] = cells[i]
+					}
+				}
+			}
+		} else {
+			for i, sl := range run.slots {
+				data, err := d.read(sl.key)
+				if err != nil {
+					readErr = err
+					break
+				}
+				if staged != nil {
+					staged[i] = data
+				} else {
+					p.fetched[sl.stripe-p.startStripe].cells[sl.idx] = data
+				}
 			}
 		}
 		if readErr != nil {

@@ -57,6 +57,19 @@ type Metrics struct {
 	walPutSeconds    *obs.Histogram
 	walCommitsOK     *obs.Counter
 	walCommitsFault  *obs.Counter
+
+	// File-backend instruments: per-device submission-queue depth, per-op
+	// service-time histograms inside the queues, the commit-path fsync
+	// barrier, and the spilled WAL log.
+	devqDepth    []*obs.Gauge
+	devqReadSec  *obs.Histogram
+	devqWriteSec *obs.Histogram
+	devqSyncSec  *obs.Histogram
+	fsyncSec     *obs.Histogram
+
+	walLogBytes   *obs.Gauge
+	walLogSyncSec *obs.Histogram
+	walLogErrors  *obs.Counter
 }
 
 // NewMetrics registers the store's metric families for a disks-device array
@@ -124,8 +137,36 @@ func NewMetrics(reg *obs.Registry, disks int) *Metrics {
 	m.walCommitsFault = reg.Counter("ecfrm_wal_commits_total",
 		"Group-commit attempts by outcome: ok (batch sealed) or fault (aborted whole, entries retained).",
 		obs.L("outcome", "fault"))
+	for d := 0; d < disks; d++ {
+		m.devqDepth = append(m.devqDepth, reg.Gauge("ecfrm_devq_depth",
+			"Submitted-but-uncompleted SQEs in the device's submission queue (file backend).",
+			obs.L("disk", strconv.Itoa(d))))
+	}
+	m.devqReadSec = reg.Histogram("ecfrm_devq_io_seconds",
+		"Per-operation service time inside the device submission queues, by op.",
+		ioSecondsBuckets, obs.L("op", "read"))
+	m.devqWriteSec = reg.Histogram("ecfrm_devq_io_seconds",
+		"Per-operation service time inside the device submission queues, by op.",
+		ioSecondsBuckets, obs.L("op", "write"))
+	m.devqSyncSec = reg.Histogram("ecfrm_devq_io_seconds",
+		"Per-operation service time inside the device submission queues, by op.",
+		ioSecondsBuckets, obs.L("op", "sync"))
+	m.fsyncSec = reg.Histogram("ecfrm_store_fsync_barrier_seconds",
+		"Duration of the commit-path fsync barrier (all touched devices synced before publish).",
+		ioSecondsBuckets)
+	m.walLogBytes = reg.Gauge("ecfrm_wal_log_bytes",
+		"Bytes of the WAL log spilled to its on-disk file (live spill watermark).")
+	m.walLogSyncSec = reg.Histogram("ecfrm_wal_log_sync_seconds",
+		"Duration of the WAL log spill-and-fsync performed before a group commit acks.",
+		ioSecondsBuckets)
+	m.walLogErrors = reg.Counter("ecfrm_wal_log_errors_total",
+		"WAL log spill failures; after one, the WAL keeps serving from memory with spill disabled.")
 	return m
 }
+
+// ioSecondsBuckets spans 10µs to ~2.6s exponentially — resolves both page-
+// cache hits and real rotational fsyncs.
+var ioSecondsBuckets = obs.ExpBuckets(1e-5, 4, 10)
 
 // requestSecondsBuckets spans 100µs to ~6.5s exponentially — resolves
 // sub-millisecond group-commit acks and degrades gracefully under injected
@@ -231,6 +272,48 @@ func (m *Metrics) walPut(seconds float64) {
 	}
 }
 
+// fsyncBarrier records one commit-path fsync barrier's duration.
+func (m *Metrics) fsyncBarrier(seconds float64) {
+	if m != nil {
+		m.fsyncSec.Observe(seconds)
+	}
+}
+
+// walLog publishes the spilled WAL log's on-disk size.
+func (m *Metrics) walLog(bytes int64) {
+	if m != nil {
+		m.walLogBytes.Set(float64(bytes))
+	}
+}
+
+// walLogSync records one WAL log spill-and-fsync duration.
+func (m *Metrics) walLogSync(seconds float64) {
+	if m != nil {
+		m.walLogSyncSec.Observe(seconds)
+	}
+}
+
+// walLogError records one WAL log spill failure.
+func (m *Metrics) walLogError() {
+	if m != nil {
+		m.walLogErrors.Inc()
+	}
+}
+
+// queueObsFor returns the submission-queue metric bundle for device d, nil
+// when the metrics bundle is nil (clearing the queue's sinks).
+func (m *Metrics) queueObsFor(d int) *queueObs {
+	if m == nil || d >= len(m.devqDepth) {
+		return nil
+	}
+	return &queueObs{
+		depth:    m.devqDepth[d],
+		readSec:  m.devqReadSec,
+		writeSec: m.devqWriteSec,
+		syncSec:  m.devqSyncSec,
+	}
+}
+
 // deviceCounters returns the per-disk counters for device d (nil when the
 // bundle is nil or d is out of the registered range), for wiring into the
 // device itself so its read/write methods account without a store hop.
@@ -260,6 +343,9 @@ func (s *Store) SetMetrics(m *Metrics) {
 	for i, d := range s.devices {
 		d.obsReads, d.obsWrites = m.deviceCounters(i)
 		d.obsInflight = m.deviceInflight(i)
+		if fb, ok := d.be.(*fileBackend); ok {
+			fb.q.setObs(m.queueObsFor(i))
+		}
 	}
 }
 

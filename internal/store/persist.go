@@ -39,6 +39,13 @@ func deviceFile(dir string, d int) string {
 // stripe/row order, each followed by its CRC32C) plus a JSON manifest.
 // Buffered partial stripes must be flushed and no device may be failed —
 // recover first, so the saved image is always complete and consistent.
+//
+// Save is durable when it returns: every device file is fsynced, the
+// manifest is written via temp-file + fsync + rename, and the containing
+// directory is fsynced, so a snapshot that reports success survives power
+// loss. Checksums are copied verbatim from the live devices (not
+// recomputed), so corruption present at save time remains detectable after
+// a round trip.
 func (s *Store) Save(dir string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -51,31 +58,38 @@ func (s *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	lay := s.scheme.Layout()
 	for d, dev := range s.devices {
-		buf := make([]byte, 0, s.stripes*lay.Rows()*(s.elemSize+4))
+		buf := make([]byte, 0, s.stripes*s.rows*(s.elemSize+4))
 		var crcBytes [4]byte
-		for stripe := 0; stripe < s.stripes; stripe++ {
-			col := lay.Col(stripe, d)
-			for row := 0; row < lay.Rows(); row++ {
-				k := cellKey{stripe, layout.Pos{Row: row, Col: col}}
-				cell, ok := dev.cells[k]
-				if !ok {
-					return fmt.Errorf("store: device %d missing cell %v", d, k)
-				}
-				buf = append(buf, cell...)
-				binary.LittleEndian.PutUint32(crcBytes[:], dev.crcs[k])
-				buf = append(buf, crcBytes[:]...)
+		for slot := 0; slot < s.stripes*s.rows; slot++ {
+			cell, crc, err := dev.be.readCell(slot)
+			if err != nil {
+				return fmt.Errorf("store: device %d save slot %d: %w", d, slot, err)
 			}
+			buf = append(buf, cell...)
+			binary.LittleEndian.PutUint32(crcBytes[:], crc)
+			buf = append(buf, crcBytes[:]...)
 		}
-		if err := os.WriteFile(deviceFile(dir, d), buf, 0o644); err != nil {
+		f, err := os.OpenFile(deviceFile(dir, d), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}
 	man := persistManifest{
 		Scheme:   s.scheme.Name(),
 		Disks:    s.scheme.N(),
-		Rows:     lay.Rows(),
+		Rows:     s.rows,
 		ElemSize: s.elemSize,
 		Stripes:  s.stripes,
 		Length:   s.length,
@@ -84,7 +98,9 @@ func (s *Store) Save(dir string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestName), mb, 0o644)
+	// atomicWriteFile fsyncs the manifest and the directory, making the
+	// device files' creation durable along with it.
+	return atomicWriteFile(filepath.Join(dir, manifestName), mb)
 }
 
 // Load restores a store saved by Save. The caller supplies the scheme (the
@@ -123,18 +139,16 @@ func Load(scheme *core.Scheme, dir string) (*Store, error) {
 			return nil, fmt.Errorf("%w: device %d has %d bytes, want %d", ErrManifest, d, len(buf), want)
 		}
 		off := 0
-		for stripe := 0; stripe < man.Stripes; stripe++ {
-			col := lay.Col(stripe, d)
-			for row := 0; row < lay.Rows(); row++ {
-				cell := append([]byte(nil), buf[off:off+man.ElemSize]...)
-				crc := binary.LittleEndian.Uint32(buf[off+man.ElemSize : off+recSize])
-				off += recSize
-				k := cellKey{stripe, layout.Pos{Row: row, Col: col}}
-				st.devices[d].cells[k] = cell
-				st.devices[d].crcs[k] = crc
+		for slot := 0; slot < man.Stripes*lay.Rows(); slot++ {
+			cell := append([]byte(nil), buf[off:off+man.ElemSize]...)
+			crc := binary.LittleEndian.Uint32(buf[off+man.ElemSize : off+recSize])
+			off += recSize
+			// Backend-direct write: checksums restore verbatim (no recompute)
+			// and the load does not count as device write traffic.
+			if err := st.devices[d].be.writeCell(slot, cell, crc); err != nil {
+				return nil, err
 			}
 		}
-		st.devices[d].writes.Store(0)
 	}
 	st.stripes = man.Stripes
 	st.length = man.Length
@@ -146,11 +160,18 @@ func Load(scheme *core.Scheme, dir string) (*Store, error) {
 func (s *Store) VerifyChecksums() []core.Access {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	lay := s.scheme.Layout()
 	var bad []core.Access
 	for d, dev := range s.devices {
-		for k, cell := range dev.cells {
-			if crc32.Checksum(cell, castagnoli) != dev.crcs[k] {
-				bad = append(bad, core.Access{Disk: d, Stripe: k.stripe, Pos: k.pos})
+		for slot := 0; slot < dev.be.slots(); slot++ {
+			cell, crc, err := dev.be.readCell(slot)
+			if err != nil {
+				continue // absent slot
+			}
+			if crc32.Checksum(cell, castagnoli) != crc {
+				stripe, row := slot/s.rows, slot%s.rows
+				bad = append(bad, core.Access{Disk: d, Stripe: stripe,
+					Pos: layout.Pos{Row: row, Col: lay.Col(stripe, d)}})
 			}
 		}
 	}

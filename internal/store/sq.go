@@ -1,0 +1,206 @@
+// Per-device async submission queues: the I/O executor under the file
+// backend (see diskdev.go).
+//
+// The interface is deliberately io_uring-shaped — prepare an SQE, Submit it,
+// reap a CQE — so that a native io_uring (or SPDK-style) backend can slot in
+// behind the same store plumbing later without touching any caller. Today
+// the executor is a bounded goroutine pool doing pread/pwrite/fsync against
+// one *os.File per device: submissions queue on a bounded channel (the
+// "ring"), a small fixed set of workers drains it, and completions are
+// delivered either to the queue's shared completion channel (ring style) or
+// to a per-call channel via SubmitWait (what the store's synchronous cell
+// paths use).
+//
+// Ordering: the queue itself promises nothing about cross-SQE ordering —
+// exactly like io_uring. The store layers its ordering on top: commits gate
+// every write, then submit, then SubmitWait(OpSync) before publishing, so
+// write-then-fsync-then-publish holds regardless of how workers interleave.
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// OpKind is the operation an SQE requests.
+type OpKind uint8
+
+const (
+	// OpRead fills Buf from Off (a positioned pread; short reads error).
+	OpRead OpKind = iota
+	// OpWrite writes Buf at Off (a positioned pwrite).
+	OpWrite
+	// OpSync flushes the file (and its metadata) to stable storage.
+	OpSync
+)
+
+func (op OpKind) String() string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// SQE is one submission-queue entry.
+type SQE struct {
+	Op  OpKind
+	Off int64
+	Buf []byte
+	// UserData is echoed verbatim in the completion, like io_uring's
+	// user_data field.
+	UserData uint64
+	// done, when non-nil, receives this SQE's completion instead of the
+	// queue's shared completion channel (SubmitWait installs it).
+	done chan CQE
+}
+
+// CQE is one completion-queue entry.
+type CQE struct {
+	UserData uint64
+	N        int
+	Err      error
+}
+
+// queueObs is the observability bundle an ioQueue reports into. Swapped
+// atomically so metrics can be wired after the queue (and its workers)
+// exist.
+type queueObs struct {
+	depth    *obs.Gauge     // queued + executing SQEs
+	readSec  *obs.Histogram // per-OpRead service time
+	writeSec *obs.Histogram // per-OpWrite service time
+	syncSec  *obs.Histogram // per-OpSync (fsync) service time
+}
+
+// ioQueue is the pooled pread/pwrite implementation of the submission-queue
+// interface over one file.
+type ioQueue struct {
+	f      *os.File
+	sq     chan SQE
+	cq     chan CQE
+	wg     sync.WaitGroup
+	depth  atomic.Int64
+	obs    atomic.Pointer[queueObs]
+	closed atomic.Bool
+}
+
+// errQueueClosed is returned for submissions after Close.
+var errQueueClosed = fmt.Errorf("store: submission queue closed")
+
+const (
+	defaultQueueDepth   = 64
+	defaultQueueWorkers = 4
+)
+
+// newIOQueue starts workers goroutines draining a depth-bounded submission
+// queue over f. The queue owns f: Close closes it.
+func newIOQueue(f *os.File, workers, depth int) *ioQueue {
+	if workers <= 0 {
+		workers = defaultQueueWorkers
+	}
+	if depth <= 0 {
+		depth = defaultQueueDepth
+	}
+	q := &ioQueue{
+		f:  f,
+		sq: make(chan SQE, depth),
+		cq: make(chan CQE, depth),
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// setObs installs (or clears) the queue's metric sinks.
+func (q *ioQueue) setObs(o *queueObs) { q.obs.Store(o) }
+
+// Depth returns the number of submitted-but-uncompleted SQEs.
+func (q *ioQueue) Depth() int { return int(q.depth.Load()) }
+
+// Submit enqueues e, blocking while the ring is full. The completion arrives
+// on the shared completion channel (reap with Complete) unless the SQE
+// carries a private done channel.
+func (q *ioQueue) Submit(e SQE) error {
+	if q.closed.Load() {
+		return errQueueClosed
+	}
+	q.depth.Add(1)
+	if o := q.obs.Load(); o != nil {
+		o.depth.Add(1)
+	}
+	q.sq <- e
+	return nil
+}
+
+// Complete reaps one completion from the shared completion channel,
+// blocking until one is available.
+func (q *ioQueue) Complete() CQE { return <-q.cq }
+
+// SubmitWait submits one operation and blocks for its completion — the
+// synchronous convenience the store's cell paths use.
+func (q *ioQueue) SubmitWait(op OpKind, off int64, buf []byte) (int, error) {
+	done := make(chan CQE, 1)
+	if err := q.Submit(SQE{Op: op, Off: off, Buf: buf, done: done}); err != nil {
+		return 0, err
+	}
+	c := <-done
+	return c.N, c.Err
+}
+
+// Close drains the ring, stops the workers, and closes the file. Concurrent
+// and later submissions fail with errQueueClosed.
+func (q *ioQueue) Close() error {
+	if q.closed.Swap(true) {
+		return nil
+	}
+	close(q.sq)
+	q.wg.Wait()
+	return q.f.Close()
+}
+
+func (q *ioQueue) worker() {
+	defer q.wg.Done()
+	for e := range q.sq {
+		start := time.Now()
+		c := CQE{UserData: e.UserData}
+		switch e.Op {
+		case OpRead:
+			c.N, c.Err = q.f.ReadAt(e.Buf, e.Off)
+		case OpWrite:
+			c.N, c.Err = q.f.WriteAt(e.Buf, e.Off)
+		case OpSync:
+			c.Err = q.f.Sync()
+		default:
+			c.Err = fmt.Errorf("store: unknown submission op %d", e.Op)
+		}
+		if o := q.obs.Load(); o != nil {
+			o.depth.Add(-1)
+			sec := time.Since(start).Seconds()
+			switch e.Op {
+			case OpRead:
+				o.readSec.Observe(sec)
+			case OpWrite:
+				o.writeSec.Observe(sec)
+			case OpSync:
+				o.syncSec.Observe(sec)
+			}
+		}
+		q.depth.Add(-1)
+		if e.done != nil {
+			e.done <- c
+		} else {
+			q.cq <- c
+		}
+	}
+}

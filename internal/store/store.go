@@ -92,12 +92,15 @@ type FaultInjector interface {
 	WriteFault(dev int) Fault
 }
 
-// Device is one simulated disk: a cell container with I/O accounting and
-// per-cell CRC32C checksums that detect silent corruption on read.
+// Device is one disk of the array: a cell container with I/O accounting and
+// per-cell CRC32C checksums that detect silent corruption on read. Where the
+// cells actually live is the backend's business (diskdev.go): an in-memory
+// map for simulated devices, or a data/checksum file pair behind an async
+// submission queue for real ones.
 type Device struct {
 	id     int
-	cells  map[cellKey][]byte
-	crcs   map[cellKey]uint32
+	rows   int // cells per stripe on this device; slot = stripe*rows + row
+	be     devBackend
 	failed bool
 	// reads and writes count element-granularity accesses. They are atomic
 	// because reads are served under the store's shared lock, so many
@@ -122,12 +125,8 @@ type cellKey struct {
 	pos    layout.Pos
 }
 
-func newDevice(id int) *Device {
-	return &Device{
-		id:    id,
-		cells: make(map[cellKey][]byte),
-		crcs:  make(map[cellKey]uint32),
-	}
+func newDevice(id, rows int) *Device {
+	return &Device{id: id, rows: rows, be: newMemBackend()}
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -139,7 +138,7 @@ func (d *Device) ID() int { return d.id }
 func (d *Device) Failed() bool { return d.failed }
 
 // Elements returns the number of elements currently stored on the device.
-func (d *Device) Elements() int { return len(d.cells) }
+func (d *Device) Elements() int { return d.be.elements() }
 
 // Reads returns the element-granularity read count.
 func (d *Device) Reads() int { return int(d.reads.Load()) }
@@ -147,34 +146,117 @@ func (d *Device) Reads() int { return int(d.reads.Load()) }
 // Writes returns the element-granularity write count.
 func (d *Device) Writes() int { return int(d.writes.Load()) }
 
-func (d *Device) write(k cellKey, data []byte) {
-	d.cells[k] = data
-	d.crcs[k] = crc32.Checksum(data, castagnoli)
+// slot maps a cell to its dense device-local index: within one device a
+// stripe occupies rows consecutive slots, so this is also the cell's on-disk
+// record offset for file backends.
+func (d *Device) slot(k cellKey) int { return k.stripe*d.rows + k.pos.Row }
+
+func (d *Device) write(k cellKey, data []byte) error {
+	if err := d.be.writeCell(d.slot(k), data, crc32.Checksum(data, castagnoli)); err != nil {
+		return err
+	}
 	d.writes.Add(1)
 	d.obsWrites.Inc()
+	return nil
+}
+
+// writeRun writes count contiguous cells — one stripe's worth on this device
+// seals exactly this way — as a single backend operation when the backend
+// supports it (one pwrite instead of rows).
+func (d *Device) writeRun(k cellKey, cells [][]byte) error {
+	crcs := make([]uint32, len(cells))
+	for i, c := range cells {
+		crcs[i] = crc32.Checksum(c, castagnoli)
+	}
+	slot := d.slot(k)
+	var err error
+	if r, ok := d.be.(runIO); ok {
+		err = r.writeRun(slot, cells, crcs)
+	} else {
+		for i := range cells {
+			if err = d.be.writeCell(slot+i, cells[i], crcs[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	d.writes.Add(int64(len(cells)))
+	d.obsWrites.Add(int64(len(cells)))
+	return nil
 }
 
 func (d *Device) read(k cellKey) ([]byte, error) {
 	if d.failed {
 		return nil, fmt.Errorf("%w: device %d", ErrFailed, d.id)
 	}
-	data, ok := d.cells[k]
-	if !ok {
-		return nil, fmt.Errorf("store: device %d has no element %v", d.id, k)
+	data, crc, err := d.be.readCell(d.slot(k))
+	if err != nil {
+		if errors.Is(err, errCellMissing) {
+			return nil, fmt.Errorf("store: device %d has no element %v", d.id, k)
+		}
+		return nil, fmt.Errorf("%w: device %d: %v", ErrUnavailable, d.id, err)
 	}
 	d.reads.Add(1)
 	d.obsReads.Inc()
-	if crc32.Checksum(data, castagnoli) != d.crcs[k] {
+	if crc32.Checksum(data, castagnoli) != crc {
 		return nil, fmt.Errorf("%w: device %d stripe %d cell (%d,%d)",
 			ErrCorrupt, d.id, k.stripe, k.pos.Row, k.pos.Col)
 	}
 	return data, nil
 }
 
+// readRun reads count contiguous cells starting at k as one backend I/O when
+// the backend supports bulk reads (the fan-out executor's coalesced runs map
+// to a single pread this way), verifying each cell's checksum. The returned
+// slices subdivide one backend buffer.
+func (d *Device) readRun(k cellKey, count int) ([][]byte, error) {
+	if d.failed {
+		return nil, fmt.Errorf("%w: device %d", ErrFailed, d.id)
+	}
+	r, ok := d.be.(runIO)
+	if !ok {
+		return nil, errCellMissing // caller falls back to per-cell reads
+	}
+	slot := d.slot(k)
+	raw, crcs, err := r.readRun(slot, count)
+	if err != nil {
+		if errors.Is(err, errCellMissing) {
+			return nil, fmt.Errorf("store: device %d missing elements in run at %v", d.id, k)
+		}
+		return nil, fmt.Errorf("%w: device %d: %v", ErrUnavailable, d.id, err)
+	}
+	d.reads.Add(int64(count))
+	d.obsReads.Add(int64(count))
+	elem := len(raw) / count
+	out := make([][]byte, count)
+	for i := range out {
+		cell := raw[i*elem : (i+1)*elem : (i+1)*elem]
+		if crc32.Checksum(cell, castagnoli) != crcs[i] {
+			s := slot + i
+			return nil, fmt.Errorf("%w: device %d stripe %d row %d",
+				ErrCorrupt, d.id, s/d.rows, s%d.rows)
+		}
+		out[i] = cell
+	}
+	return out, nil
+}
+
 // Store is an erasure-coded append-only blob store.
 type Store struct {
 	scheme   *core.Scheme
 	elemSize int
+	rows     int // scheme.Layout().Rows(), cached: slot math sits on hot paths
+
+	// File-backend state (zero for memory-backed stores): the data
+	// directory, whether commits run the fsync barrier before publishing,
+	// and the factory RecoverDisk uses to open a fresh truncated backend for
+	// a replacement device. closed poisons use-after-Close.
+	dataDir      string
+	fsync        bool
+	newBackendFn func(d int) (devBackend, error)
+	closed       bool
 
 	// mu guards devices' cell maps, failure flags, and the append state.
 	// Reads hold it shared; writes, failure injection, recovery, and healing
@@ -228,13 +310,15 @@ func New(scheme *core.Scheme, elemSize int) (*Store, error) {
 	if elemSize < 1 {
 		return nil, fmt.Errorf("store: element size %d must be positive", elemSize)
 	}
+	rows := scheme.Layout().Rows()
 	devs := make([]*Device, scheme.N())
 	for i := range devs {
-		devs[i] = newDevice(i)
+		devs[i] = newDevice(i, rows)
 	}
 	return &Store{
 		scheme:    scheme,
 		elemSize:  elemSize,
+		rows:      rows,
 		devices:   devs,
 		opTimeout: DefaultOpTimeout,
 		retries:   DefaultRetries,
@@ -449,16 +533,27 @@ func (s *Store) writeGate(dev int) error {
 // Append adds data to the store, sealing (encoding and distributing) every
 // stripe that fills. Partial tails stay buffered until more data arrives or
 // Flush pads them out.
+//
+// On a file-backed store with the FsyncAlways discipline, Append returns
+// only after every sealed stripe is durably on disk: each seal gates all
+// writes, then writes, and one fsync barrier covers every device before
+// Append returns — write-then-fsync-then-publish, with the publish being the
+// lock release that makes the new stripes visible to readers.
 func (s *Store) Append(data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pending = append(s.pending, data...)
 	s.length += int64(len(data))
+	sealed := false
 	for len(s.pending) >= s.stripeBytes() {
 		if err := s.seal(s.pending[:s.stripeBytes()]); err != nil {
 			return err
 		}
+		sealed = true
 		s.pending = s.pending[s.stripeBytes():]
+	}
+	if sealed {
+		return s.syncDevices(nil)
 	}
 	return nil
 }
@@ -481,7 +576,7 @@ func (s *Store) Flush() error {
 		return err
 	}
 	s.pending = nil
-	return nil
+	return s.syncDevices(nil)
 }
 
 // seal encodes one stripe's worth of bytes and writes all cells to devices.
@@ -512,11 +607,19 @@ func (s *Store) seal(buf []byte) error {
 			}
 		}
 	}
-	for row := 0; row < lay.Rows(); row++ {
-		for col := 0; col < n; col++ {
-			pos := layout.Pos{Row: row, Col: col}
-			disk := lay.Disk(s.stripes, col)
-			s.devices[disk].write(cellKey{s.stripes, pos}, cells[row*n+col])
+	// Each device's share of the stripe occupies rows contiguous slots, so
+	// it commits as one run (a single pwrite on file backends). The stripe
+	// counter advances only after every device write succeeded; the fsync
+	// barrier is the caller's (Append/Flush sync once per batch of seals).
+	devCells := make([][]byte, lay.Rows())
+	for col := 0; col < n; col++ {
+		disk := lay.Disk(s.stripes, col)
+		for row := 0; row < lay.Rows(); row++ {
+			devCells[row] = cells[row*n+col]
+		}
+		k := cellKey{s.stripes, layout.Pos{Row: 0, Col: col}}
+		if err := s.devices[disk].writeRun(k, devCells); err != nil {
+			return fmt.Errorf("store: seal stripe %d device %d: %w", s.stripes, disk, err)
 		}
 	}
 	s.stripes++
@@ -817,7 +920,13 @@ func (s *Store) healCell(stripe int, pos layout.Pos) ([]byte, error) {
 		return nil, fmt.Errorf("store: heal stripe %d cell (%d,%d) rewrite: %w",
 			stripe, pos.Row, pos.Col, err)
 	}
-	s.devices[ownDisk].write(cellKey{stripe, pos}, clean)
+	if err := s.devices[ownDisk].write(cellKey{stripe, pos}, clean); err != nil {
+		return nil, fmt.Errorf("store: heal stripe %d cell (%d,%d) rewrite: %w",
+			stripe, pos.Row, pos.Col, err)
+	}
+	if err := s.syncDevices([]int{ownDisk}); err != nil {
+		return nil, err
+	}
 	s.obs.heal()
 	s.bumpEpoch()
 	return clean, nil
@@ -922,8 +1031,15 @@ func (s *Store) WriteAt(off int64, data []byte) error {
 			return fmt.Errorf("store: write [%d,+%d): %w", off, len(data), err)
 		}
 	}
+	touched := make(map[int]bool)
 	for _, sw := range order {
-		s.devices[sw.disk].write(sw.k, overlay[sw.k])
+		if err := s.devices[sw.disk].write(sw.k, overlay[sw.k]); err != nil {
+			return fmt.Errorf("store: write [%d,+%d): %w", off, len(data), err)
+		}
+		touched[sw.disk] = true
+	}
+	if err := s.syncDevices(keysSorted(touched)); err != nil {
+		return err
 	}
 	s.bumpEpoch()
 	return nil
@@ -1014,9 +1130,14 @@ func (s *Store) WriteAtReencode(off int64, data []byte) error {
 		for row := 0; row < lay.Rows(); row++ {
 			for col := 0; col < n; col++ {
 				pos := layout.Pos{Row: row, Col: col}
-				s.devices[lay.Disk(st.stripe, col)].write(cellKey{st.stripe, pos}, st.cells[row*n+col])
+				if err := s.devices[lay.Disk(st.stripe, col)].write(cellKey{st.stripe, pos}, st.cells[row*n+col]); err != nil {
+					return fmt.Errorf("store: reencode write [%d,+%d): %w", off, len(data), err)
+				}
 			}
 		}
+	}
+	if err := s.syncDevices(nil); err != nil {
+		return err
 	}
 	s.bumpEpoch()
 	return nil
@@ -1044,11 +1165,36 @@ func (s *Store) RecoverDisk(d int) (readCost int, err error) {
 	}
 	lay := s.scheme.Layout()
 	code := s.scheme.Code()
-	replacement := newDevice(d)
+	replacement := newDevice(d, s.rows)
 	// The replacement inherits the failed device's metric series: to the
 	// registry it is the same disk slot.
 	replacement.obsReads, replacement.obsWrites = dev.obsReads, dev.obsWrites
 	replacement.obsInflight = dev.obsInflight
+	if s.newBackendFn != nil {
+		// File backend: the replacement writes to the same dev_NN files, so
+		// the failed device's handles must close before the factory reopens
+		// them truncated. The old contents are untrusted anyway — that is
+		// what "failed" means — and the device stays marked failed until the
+		// rebuild completes, so no reader touches the half-built files.
+		if err := dev.be.close(); err != nil {
+			dev.be = newMemBackend() // dead placeholder; keeps later Close safe
+			return 0, fmt.Errorf("store: recover device %d: close old backend: %w", d, err)
+		}
+		dev.be = newMemBackend()
+		be, berr := s.newBackendFn(d)
+		if berr != nil {
+			return 0, fmt.Errorf("store: recover device %d: open replacement: %w", d, berr)
+		}
+		replacement.be = be
+		defer func() {
+			if err != nil {
+				// Rebuild failed partway: keep the device failed but give it
+				// the replacement backend so its files stay managed (a retry
+				// closes and re-truncates them).
+				dev.be = be
+			}
+		}()
+	}
 
 	for stripe := 0; stripe < s.stripes; stripe++ {
 		// Per-stripe read cache: an element fetched for one group's repair
@@ -1106,11 +1252,24 @@ func (s *Store) RecoverDisk(d int) (readCost int, err error) {
 					}
 				}
 			}
-			if err := code.ReconstructElements(group, []int{cell.Element}); err != nil {
-				return readCost, fmt.Errorf("store: rebuild stripe %d cell (%d,%d): %w",
-					stripe, pos.Row, pos.Col, err)
+			if rerr := code.ReconstructElements(group, []int{cell.Element}); rerr != nil {
+				err = fmt.Errorf("store: rebuild stripe %d cell (%d,%d): %w",
+					stripe, pos.Row, pos.Col, rerr)
+				return readCost, err
 			}
-			replacement.write(cellKey{stripe, pos}, group[cell.Element])
+			if werr := replacement.write(cellKey{stripe, pos}, group[cell.Element]); werr != nil {
+				err = fmt.Errorf("store: rebuild stripe %d cell (%d,%d): %w",
+					stripe, pos.Row, pos.Col, werr)
+				return readCost, err
+			}
+		}
+	}
+	// Durability before visibility: the rebuilt contents hit stable storage
+	// before the swap clears the failed flag and readers route back here.
+	if s.fsync {
+		if serr := replacement.be.sync(); serr != nil {
+			err = fmt.Errorf("store: recover device %d: fsync: %w", d, serr)
+			return readCost, err
 		}
 	}
 	s.devices[d] = replacement
@@ -1165,12 +1324,11 @@ func (s *Store) CorruptCell(stripe int, pos layout.Pos) error {
 	disk := s.scheme.Layout().Disk(stripe, pos.Col)
 	k := cellKey{stripe, pos}
 	dev := s.devices[disk]
-	cell, ok := dev.cells[k]
-	if !ok {
-		return fmt.Errorf("store: no cell %v on device %d", k, disk)
-	}
-	for i := range cell {
-		cell[i] ^= 0xa5
+	if err := dev.be.corrupt(dev.slot(k)); err != nil {
+		if errors.Is(err, errCellMissing) {
+			return fmt.Errorf("store: no cell %v on device %d", k, disk)
+		}
+		return err
 	}
 	s.bumpEpoch()
 	return nil

@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
 	"sync"
 	"time"
 )
@@ -71,6 +72,17 @@ type WALConfig struct {
 	// if BatchBytes never accumulates. Zero or negative means
 	// DefaultFlushInterval.
 	FlushInterval time.Duration
+	// LogPath, when non-empty, spills the serialized log to this file
+	// through a single-worker submission queue (the same executor the file
+	// backend's devices use): every successful group commit appends the new
+	// log records — the batch's puts and its commit record — and fsyncs them
+	// before any waiter is acked. RecoverWALFile replays such a file at
+	// startup. The file is truncated when the WAL attaches: recover first.
+	//
+	// A spill failure after the store commit succeeded never fails the
+	// commit (the bytes are sealed); it is counted, the error is retained
+	// (SpillErr), and further spilling is disabled.
+	LogPath string
 }
 
 // walResult is the outcome of one entry's first commit attempt.
@@ -101,6 +113,14 @@ type WAL struct {
 	flushing    bool        // a commit leader is active
 	timerSet    bool        // a FlushInterval timer is pending
 	closed      bool
+
+	// Spill state (LogPath configured): the log file behind a one-worker
+	// submission queue, the durable prefix of log, and the first spill
+	// failure (which disables further spilling). Only the active commit
+	// leader advances spilled, so the watermark needs no extra guard.
+	logQ     *ioQueue
+	spilled  int
+	spillErr error
 }
 
 // NewWAL attaches a group-commit write-ahead log to st. Install the store's
@@ -113,7 +133,27 @@ func NewWAL(st *Store, cfg WALConfig) *WAL {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = DefaultFlushInterval
 	}
-	return &WAL{st: st, cfg: cfg, batchBase: -1}
+	w := &WAL{st: st, cfg: cfg, batchBase: -1}
+	if cfg.LogPath != "" {
+		// Truncate: the caller replayed any previous log (RecoverWALFile)
+		// before attaching, so this file describes only this WAL's lifetime.
+		f, err := os.OpenFile(cfg.LogPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			w.spillErr = fmt.Errorf("store: wal: open log %s: %w", cfg.LogPath, err)
+			st.Metrics().walLogError()
+		} else {
+			w.logQ = newIOQueue(f, 1, defaultQueueDepth)
+		}
+	}
+	return w
+}
+
+// SpillErr returns the first log-spill failure. It is nil while spilling
+// works, and trivially nil when no LogPath is configured.
+func (w *WAL) SpillErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.spillErr
 }
 
 // Config returns the resolved thresholds in effect.
@@ -222,7 +262,14 @@ func (w *WAL) Close() error {
 	err := w.Sync()
 	w.mu.Lock()
 	w.closed = true
+	q := w.logQ
+	w.logQ = nil
 	w.mu.Unlock()
+	if q != nil {
+		if cerr := q.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -313,12 +360,47 @@ func (w *WAL) flushOnce() error {
 		return cerr
 	}
 	bytes := batchBytesOf(batch)
+	// Durability before ack: the commit record joins the log and the log's
+	// new suffix is spilled and fsynced before any waiter hears success.
+	// The spill itself runs outside the WAL lock (an fsync on rotational
+	// media is milliseconds — Puts keep enqueueing the next batch meanwhile);
+	// only the leader advances the spilled watermark, so the snapshot below
+	// cannot race another spill.
+	w.appendCommitRecord(n, base)
+	var delta []byte
+	lq := w.logQ
+	spillBase := w.spilled
+	if lq != nil && w.spillErr == nil {
+		delta = append([]byte(nil), w.log[w.spilled:]...)
+		w.spilled = len(w.log)
+	}
+	w.mu.Unlock()
+
+	if len(delta) > 0 {
+		start := time.Now()
+		serr := w.spill(lq, spillBase, delta)
+		if serr == nil {
+			m.walLogSync(time.Since(start).Seconds())
+			m.walLog(int64(spillBase + len(delta)))
+		} else {
+			// The store commit already sealed these bytes; losing log
+			// durability is a degradation, not a failure. Record it, disable
+			// the spill, and keep serving.
+			m.walLogError()
+			w.mu.Lock()
+			if w.spillErr == nil {
+				w.spillErr = serr
+			}
+			w.mu.Unlock()
+		}
+	}
+
+	w.mu.Lock()
 	off := base
 	for _, e := range batch {
 		notify(e, off, nil)
 		off += int64(len(e.data))
 	}
-	w.appendCommitRecord(n, base)
 	w.queue = w.queue[n:]
 	w.queuedBytes -= bytes
 	w.handed = 0
@@ -326,6 +408,18 @@ func (w *WAL) flushOnce() error {
 	m.walCommit(true, n, bytes)
 	m.walDepth(len(w.queue), w.queuedBytes)
 	w.mu.Unlock()
+	return nil
+}
+
+// spill appends delta at off in the log file and fsyncs it, both through the
+// log's submission queue (passed in: Close may nil w.logQ concurrently).
+func (w *WAL) spill(lq *ioQueue, off int, delta []byte) error {
+	if _, err := lq.SubmitWait(OpWrite, int64(off), delta); err != nil {
+		return fmt.Errorf("store: wal: spill log [%d,+%d): %w", off, len(delta), err)
+	}
+	if _, err := lq.SubmitWait(OpSync, 0, nil); err != nil {
+		return fmt.Errorf("store: wal: fsync log: %w", err)
+	}
 	return nil
 }
 
@@ -448,4 +542,100 @@ func ReplayWAL(log []byte, st *Store) ([]Extent, error) {
 		}
 	}
 	return extents, nil
+}
+
+// RecoverWALFile replays a spilled WAL log file into a freshly (re)opened
+// store and truncates the file, returning every committed object's extent
+// plus the count of logged-but-uncommitted objects the crash orphaned (their
+// Puts were never acked, so dropping them is correct).
+//
+// Unlike ReplayWAL — which assumes an empty store — this tolerates a store
+// that already recovered sealed stripes from its own device files: a commit
+// record whose flush-padded extent lies inside the recovered extent was
+// durably applied before the crash (under FsyncAlways the device fsync
+// barrier precedes the commit record) and is skipped; one starting exactly
+// at the store's next offset is re-applied (the FsyncNever crash window,
+// where the log hardened before the devices); anything else means the log
+// and the store diverged, which is an error.
+func RecoverWALFile(path string, st *Store) (extents []Extent, dropped int, err error) {
+	log, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, 0, nil
+		}
+		return nil, 0, rerr
+	}
+	stripeBytes := int64(st.stripeBytes())
+	var queued [][]byte
+	for len(log) > 0 {
+		switch log[0] {
+		case walRecPut:
+			if len(log) < 5 {
+				log = nil
+				continue
+			}
+			n := int(binary.LittleEndian.Uint32(log[1:5]))
+			if len(log) < 5+n+4 {
+				log = nil
+				continue
+			}
+			data := log[5 : 5+n]
+			if crc32.Checksum(data, castagnoli) != binary.LittleEndian.Uint32(log[5+n:5+n+4]) {
+				log = nil
+				continue
+			}
+			queued = append(queued, data)
+			log = log[5+n+4:]
+		case walRecCommit:
+			if len(log) < 17 || crc32.Checksum(log[1:13], castagnoli) != binary.LittleEndian.Uint32(log[13:17]) {
+				log = nil
+				continue
+			}
+			count := int(binary.LittleEndian.Uint32(log[1:5]))
+			base := int64(binary.LittleEndian.Uint64(log[5:13]))
+			log = log[17:]
+			if count <= 0 || count > len(queued) {
+				return extents, 0, fmt.Errorf("store: wal recover: commit of %d objects with %d queued", count, len(queued))
+			}
+			var bytes int64
+			for _, d := range queued[:count] {
+				bytes += int64(len(d))
+			}
+			paddedEnd := (base + bytes + stripeBytes - 1) / stripeBytes * stripeBytes
+			sealed := st.NextOffset()
+			switch {
+			case paddedEnd <= sealed:
+				// Already durably applied before the crash: record only.
+			case base == sealed:
+				var buf []byte
+				for _, d := range queued[:count] {
+					buf = append(buf, d...)
+				}
+				if aerr := st.Append(buf); aerr != nil {
+					return extents, 0, fmt.Errorf("store: wal recover: %w", aerr)
+				}
+				if ferr := st.Flush(); ferr != nil {
+					return extents, 0, fmt.Errorf("store: wal recover: %w", ferr)
+				}
+			default:
+				return extents, 0, fmt.Errorf("store: wal recover: commit base %d (end %d) inconsistent with store extent %d",
+					base, paddedEnd, sealed)
+			}
+			off := base
+			for _, d := range queued[:count] {
+				extents = append(extents, Extent{Off: off, Size: len(d)})
+				off += int64(len(d))
+			}
+			queued = queued[count:]
+		default:
+			log = nil
+		}
+	}
+	dropped = len(queued)
+	// The log's content is now fully reflected in the store; empty it so the
+	// next WAL's spill starts from a clean file.
+	if terr := os.Truncate(path, 0); terr != nil && !os.IsNotExist(terr) {
+		return extents, dropped, terr
+	}
+	return extents, dropped, nil
 }
