@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json disk-smoke disk-json
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json disk-smoke disk-json repair-smoke repair-chaos repair-json
 
 all: build
 
@@ -91,6 +91,28 @@ disk-smoke:
 disk-json:
 	$(GO) run ./cmd/ecfrmbench -disk BENCH_disk.json
 
+# End-to-end self-healing check against a real daemon: PUT objects, zero one
+# device's data file under the live process, and require the repair
+# scheduler's error detector to fail-stop and rebuild the disk on its own —
+# byte-identical reads, clean scrub, persisted scrub cursor, live MTTR and
+# repair-bytes metrics, and a runtime rate retune over /repair/.
+repair-smoke:
+	./scripts/repair-smoke.sh
+
+# The repair acceptance suite under the race detector: kill a disk mid-
+# traffic with a seeded fault plan and assert detection, MTTR, foreground
+# p99, and byte-identical recovery from a live /metrics scrape. Two fixed
+# seeds plus a time-derived one (rerun failures with CHAOS_SEED=<seed>).
+repair-chaos:
+	@seed=$${CHAOS_SEED:-$$(date +%s)}; \
+	echo "repair-chaos: extra seed $$seed (reproduce with CHAOS_SEED=$$seed make repair-chaos)"; \
+	CHAOS_SEED=$$seed $(GO) test -race -run ChaosKilledDisk ./internal/repair/
+
+# The committed repair scheduler numbers (BENCH_repair.json): MTTR and
+# foreground p99 as a function of the token-bucket rate limit.
+repair-json:
+	$(GO) run ./cmd/ecfrmbench -repair BENCH_repair.json
+
 # A short fuzz run over the GF kernel equivalence target.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
@@ -104,4 +126,4 @@ chaos:
 	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
 		./internal/faultinject/ ./internal/shardio/
 
-ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke disk-smoke disk-json chaos
+ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke disk-smoke disk-json repair-smoke repair-chaos chaos

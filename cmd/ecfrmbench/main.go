@@ -44,6 +44,7 @@ func main() {
 		fanoutOut   = flag.String("fanout", "", "run the fan-out read executor benchmark and write JSON to this path (e.g. BENCH_fanout.json), then exit")
 		writepath   = flag.String("writepath", "", "run the group-commit write path benchmark and write JSON to this path (e.g. BENCH_writepath.json), then exit")
 		diskOut     = flag.String("disk", "", "run the file-backend disk benchmark and write JSON to this path (e.g. BENCH_disk.json), then exit")
+		repairOut   = flag.String("repair", "", "run the repair scheduler MTTR-vs-rate benchmark and write JSON to this path (e.g. BENCH_repair.json), then exit")
 		diskDirect  = flag.Bool("disk-direct", false, "request O_DIRECT on the disk benchmark's device files")
 		parallel    = flag.Int("parallel", 0, "measure figure (code, form) cells across this many workers; results are bit-identical to sequential")
 	)
@@ -80,6 +81,13 @@ func main() {
 	if *diskOut != "" {
 		if err := runDiskBench(*diskOut, *diskDirect); err != nil {
 			fmt.Fprintln(os.Stderr, "disk:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *repairOut != "" {
+		if err := runRepairBench(*repairOut); err != nil {
+			fmt.Fprintln(os.Stderr, "repair:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,240 @@
+// Repair benchmark mode: -repair <path> measures the repair scheduler's
+// central trade-off — MTTR versus foreground interference as a function of
+// the token-bucket rate limit — and writes BENCH_repair.json.
+//
+// For each rate limit a fresh in-memory store is filled, light latency
+// faults are injected on every device (so foreground reads have realistic
+// weight), a disk is fail-stopped, and the scheduler rebuilds it while four
+// closed-loop readers hammer random stripe-sized reads. Each row reports
+// the wall-clock MTTR, the achieved rebuild bandwidth, and the foreground
+// p99 during the rebuild window next to a no-repair baseline p99 measured
+// under the same fault plan and concurrency.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/repair"
+	"repro/internal/store"
+)
+
+const (
+	repairElemBytes = 64 << 10
+	repairStripes   = 64
+	repairClients   = 4
+	// repairReadElems keeps foreground requests stripe-shaped: big enough
+	// to touch several devices, small enough to finish in microseconds.
+	repairReadElems = 6
+	repairVictim    = 3
+)
+
+type repairResult struct {
+	RateMiB float64 `json:"rate_mib_per_s"` // configured token-bucket rate
+	MTTRMs  float64 `json:"mttr_ms"`        // fail-stop to rebuilt, wall clock
+	// RebuiltMiB is the replacement data written (disk share of the store).
+	RebuiltMiB float64 `json:"rebuilt_mib"`
+	// AchievedMiB is RebuiltMiB / MTTR — below RateMiB when the bucket is
+	// not the bottleneck or pressure backoff throttled further.
+	AchievedMiB float64 `json:"achieved_mib_per_s"`
+	BaselineP99 float64 `json:"fg_p99_baseline_ms"` // no repair running
+	RebuildP99  float64 `json:"fg_p99_rebuild_ms"`  // during the rebuild
+	FgSlowdown  float64 `json:"fg_p99_slowdown"`
+	FgReads     int     `json:"fg_reads_during_rebuild"`
+}
+
+type repairReport struct {
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	Timestamp string         `json:"timestamp"`
+	Scheme    string         `json:"scheme"`
+	ElemBytes int            `json:"elem_bytes"`
+	Stripes   int            `json:"stripes"`
+	Clients   int            `json:"clients"`
+	Results   []repairResult `json:"results"`
+}
+
+func runRepairBench(path string) error {
+	rates := []float64{4, 16, 64, 256}
+	rep := repairReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		ElemBytes: repairElemBytes,
+		Stripes:   repairStripes,
+		Clients:   repairClients,
+	}
+	for _, rate := range rates {
+		res, scheme, err := repairBenchOne(rate)
+		if err != nil {
+			return fmt.Errorf("rate %.0f MiB/s: %w", rate, err)
+		}
+		rep.Scheme = scheme
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("repair @ %4.0f MiB/s: MTTR %8.1f ms, achieved %6.1f MiB/s, fg p99 %.3f ms (baseline %.3f ms, %.2fx)\n",
+			res.RateMiB, res.MTTRMs, res.AchievedMiB, res.RebuildP99, res.BaselineP99, res.FgSlowdown)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}
+
+func repairBenchOne(rateMiB float64) (repairResult, string, error) {
+	runtime.GC() // don't charge the previous run's garbage to this baseline
+	scheme, err := core.NewScheme(lrc.Must(6, 2, 2), layout.FormECFRM)
+	if err != nil {
+		return repairResult{}, "", err
+	}
+	st, err := store.New(scheme, repairElemBytes)
+	if err != nil {
+		return repairResult{}, "", err
+	}
+	defer st.Close()
+
+	data := make([]byte, repairStripes*scheme.DataPerStripe()*repairElemBytes)
+	rand.New(rand.NewSource(42)).Read(data)
+	if err := st.Append(data); err != nil {
+		return repairResult{}, "", err
+	}
+	if err := st.Flush(); err != nil {
+		return repairResult{}, "", err
+	}
+
+	// Light latency everywhere so foreground requests cost something real
+	// and the rebuild's extra device work can actually interfere.
+	plan := faultinject.Plan{Seed: 1}
+	for d := 0; d < scheme.N(); d++ {
+		plan.Policies = append(plan.Policies, faultinject.Policy{
+			Device:  d,
+			Latency: 20 * time.Microsecond,
+			Jitter:  10 * time.Microsecond,
+		})
+	}
+	st.SetFaultInjector(faultinject.New(plan))
+
+	maxOff := len(data) - repairReadElems*repairElemBytes
+	readOnce := func(rng *rand.Rand) (time.Duration, error) {
+		off := (rng.Intn(maxOff/repairElemBytes + 1)) * repairElemBytes
+		t0 := time.Now()
+		_, err := st.ReadAt(int64(off), repairReadElems*repairElemBytes)
+		return time.Since(t0), err
+	}
+
+	// Baseline: same fault plan, same concurrency, no repair traffic.
+	base, err := repairConcurrentReads(readOnce, 600*time.Millisecond, nil)
+	if err != nil {
+		return repairResult{}, "", err
+	}
+
+	sch, err := repair.New(st, repair.Config{
+		Rate:           rateMiB * (1 << 20),
+		BatchStripes:   8,
+		DetectInterval: 2 * time.Millisecond,
+		ScrubInterval:  -1,
+	})
+	if err != nil {
+		return repairResult{}, "", err
+	}
+	defer sch.Close()
+
+	// Fail the victim and time the scheduler's detection + rebuild while
+	// the foreground keeps reading (degraded until the rebuild lands).
+	done := make(chan struct{})
+	t0 := time.Now()
+	st.FailDisk(repairVictim)
+	var mttr time.Duration
+	go func() {
+		defer close(done)
+		for len(st.FailedDisks()) != 0 || len(st.Rebuilding()) != 0 {
+			time.Sleep(time.Millisecond)
+		}
+		mttr = time.Since(t0)
+	}()
+	during, err := repairConcurrentReads(readOnce, time.Hour, done)
+	if err != nil {
+		return repairResult{}, "", err
+	}
+	<-done
+	if mttr <= 0 {
+		return repairResult{}, "", fmt.Errorf("rebuild did not complete")
+	}
+
+	rebuiltMiB := float64(repairStripes*scheme.Layout().Rows()*repairElemBytes) / (1 << 20)
+	p99Base := repairPercentile(base, 0.99)
+	p99During := repairPercentile(during, 0.99)
+	return repairResult{
+		RateMiB:     rateMiB,
+		MTTRMs:      float64(mttr) / float64(time.Millisecond),
+		RebuiltMiB:  rebuiltMiB,
+		AchievedMiB: rebuiltMiB / mttr.Seconds(),
+		BaselineP99: float64(p99Base) / float64(time.Millisecond),
+		RebuildP99:  float64(p99During) / float64(time.Millisecond),
+		FgSlowdown:  float64(p99During) / float64(p99Base),
+		FgReads:     len(during),
+	}, scheme.Name(), nil
+}
+
+// repairConcurrentReads runs closed-loop readers until the duration elapses
+// or stop closes, and returns every observed latency.
+func repairConcurrentReads(read func(*rand.Rand) (time.Duration, error), d time.Duration, stop <-chan struct{}) ([]time.Duration, error) {
+	var mu sync.Mutex
+	var lats []time.Duration
+	var firstErr error
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < repairClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for time.Now().Before(deadline) {
+				if stop != nil {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				lat, err := read(rng)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				lats = append(lats, lat)
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return lats, firstErr
+}
+
+func repairPercentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(p*float64(len(s)-1))]
+}

@@ -58,6 +58,26 @@
 // Object names live only in httpd memory for now, so after a restart
 // recovered bytes are reachable by offset (store-level), not by name.
 //
+// Self-healing: -repair starts the background repair scheduler
+// (internal/repair). It watches per-device error counts and latency
+// quantiles, fail-stops disks that exceed the error burst or limp far
+// behind their peers, and rebuilds them incrementally under a token-bucket
+// rate limit (-repair-rate MiB/s) that backs off further whenever
+// foreground reads are in flight. It also runs a continuous incremental
+// checksum scrub (-scrub-interval between batches) whose cursor persists
+// in <data-dir>/scrub.cursor with -backend=file, so a restarted daemon
+// resumes scrubbing where it left off. Operator surface under /repair/:
+//
+//	ecfrmd -repair -repair-rate 64 -scrub-interval 30s
+//	curl localhost:8080/repair/                       # JSON status
+//	curl -X POST 'localhost:8080/repair/rebuild?disk=3'
+//	curl -X POST 'localhost:8080/repair/migrate?disk=3'
+//	curl -X POST 'localhost:8080/repair/scrub'        # kick a batch now
+//	curl -X POST 'localhost:8080/repair/rate?bytes=8388608'
+//
+// MTTR, repair bytes, backoff, and scrub progress export on /metrics as
+// ecfrm_repair_* and ecfrm_scrub_* series.
+//
 // The daemon shuts down gracefully: SIGINT/SIGTERM stops accepting new
 // connections, drains in-flight requests for up to 10 seconds, then commits
 // anything still queued in the WAL.
@@ -83,6 +103,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/lrc"
 	"repro/internal/obs"
+	"repro/internal/repair"
 	"repro/internal/rs"
 	"repro/internal/store"
 )
@@ -108,6 +129,10 @@ func main() {
 		walBatch = flag.Int("wal-batch", 0, "group-commit byte threshold for PUTs (0 = one stripe of user data)")
 		walEvery = flag.Duration("wal-flush-interval", store.DefaultFlushInterval,
 			"max time a queued PUT waits for a group commit")
+
+		repairOn   = flag.Bool("repair", false, "run the background repair/scrub scheduler")
+		repairRate = flag.Float64("repair-rate", 32, "repair bandwidth budget in MiB/s of rebuilt data (0 pauses rebuilds)")
+		scrubEvery = flag.Duration("scrub-interval", time.Minute, "pause between incremental scrub batches (negative disables scrub; needs -repair)")
 
 		fanout   = flag.Bool("fanout", true, "serve reads through the parallel fan-out executor (false = sequential)")
 		readConc = flag.Int("read-concurrency", 0, "max devices served concurrently per read (0 = one worker per device)")
@@ -209,9 +234,37 @@ func main() {
 		WAL:         store.WALConfig{BatchBytes: *walBatch, FlushInterval: *walEvery, LogPath: *walLog},
 	})
 
+	// The repair scheduler mounts beside the object server, not inside it:
+	// httpd stays ignorant of the repair package and the scheduler's own
+	// handler owns everything under /repair/.
+	var root http.Handler = handler
+	var sch *repair.Scheduler
+	if *repairOn {
+		cursor := ""
+		if *backend == "file" {
+			cursor = filepath.Join(*dataDir, "scrub.cursor")
+		}
+		sch, err = repair.New(st, repair.Config{
+			Rate:          *repairRate * (1 << 20),
+			ScrubInterval: *scrubEvery,
+			CursorPath:    cursor,
+			Registry:      reg,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatal("ecfrmd: repair: ", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/repair/", http.StripPrefix("/repair", sch.Handler()))
+		mux.Handle("/", handler)
+		root = mux
+		log.Printf("repair scheduler on /repair/: rate %.0f MiB/s, scrub interval %v, cursor %q",
+			*repairRate, *scrubEvery, cursor)
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: handler,
+		Handler: root,
 		// Bound how long a peer may dribble headers and how long idle
 		// keep-alive connections pin resources; response bodies (large
 		// objects, pprof profiles) stay unbounded.
@@ -284,6 +337,12 @@ func main() {
 		}
 		// The listener is drained; commit any queued PUTs and stop the WAL,
 		// then seal the backend (file: manifest write + final fsync).
+		if sch != nil {
+			// Stop detection, scrub, and any in-flight rebuild (aborted
+			// batches roll back; the disk stays failed and a restarted
+			// daemon's detector re-queues it) before the store seals.
+			sch.Close()
+		}
 		if err := handler.Close(); err != nil {
 			log.Fatal("ecfrmd: wal close: ", err)
 		}

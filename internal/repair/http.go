@@ -1,0 +1,78 @@
+package repair
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the scheduler's HTTP surface, mounted by the daemon under
+// /repair:
+//
+//	GET  /          scheduler status JSON (rates, queues, active repairs, scrub cursor)
+//	POST /rebuild?disk=N   queue a rebuild of failed disk N now
+//	POST /migrate?disk=N   queue a migration of healthy disk N onto fresh media
+//	POST /scrub            run an extra scrub batch without waiting the interval
+//	POST /rate?bytes=N     retune the repair bandwidth budget (0 pauses)
+func (s *Scheduler) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" && r.URL.Path != "" {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.StatusSnapshot())
+	})
+	mux.HandleFunc("/rebuild", func(w http.ResponseWriter, r *http.Request) {
+		s.handleDiskAction(w, r, s.TriggerRebuild)
+	})
+	mux.HandleFunc("/migrate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleDiskAction(w, r, s.TriggerMigrate)
+	})
+	mux.HandleFunc("/scrub", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.TriggerScrub()
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/rate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		bytes, err := strconv.ParseFloat(r.URL.Query().Get("bytes"), 64)
+		if err != nil {
+			http.Error(w, "bad bytes parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.SetRate(bytes)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func (s *Scheduler) handleDiskAction(w http.ResponseWriter, r *http.Request, fn func(int) error) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	d, err := strconv.Atoi(r.URL.Query().Get("disk"))
+	if err != nil {
+		http.Error(w, "bad disk parameter: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := fn(d); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}

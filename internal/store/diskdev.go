@@ -196,6 +196,12 @@ func devCRCFile(dir string, d int) string {
 	return filepath.Join(dir, fmt.Sprintf("dev_%02d.crc", d))
 }
 
+// stagingSuffix marks a migration's staging file pair (repair.go): the copy
+// of a device being rebalanced onto new storage, promoted over the live pair
+// by rename. A *.new pair found at startup is a crashed migration and is
+// discarded — the live pair is still authoritative.
+const stagingSuffix = ".new"
+
 type fileBackend struct {
 	elemSize int
 	q        *ioQueue // data file, behind the submission queue
@@ -212,6 +218,12 @@ type fileBackend struct {
 // requested and the element size permits; openErr of the O_DIRECT attempt
 // falls back to buffered.
 func openFileBackend(dir string, d, elemSize int, cfg FileConfig, trunc bool) (*fileBackend, error) {
+	return openFileBackendPaths(devDataFile(dir, d), devCRCFile(dir, d), elemSize, cfg, trunc)
+}
+
+// openFileBackendPaths is openFileBackend over explicit file paths — the
+// migration staging path opens dev_NN.{data,crc}.new pairs this way.
+func openFileBackendPaths(dataPath, crcPath string, elemSize int, cfg FileConfig, trunc bool) (*fileBackend, error) {
 	flags := os.O_RDWR | os.O_CREATE
 	if trunc {
 		flags |= os.O_TRUNC
@@ -220,18 +232,18 @@ func openFileBackend(dir string, d, elemSize int, cfg FileConfig, trunc bool) (*
 	var df *os.File
 	var err error
 	if direct {
-		df, err = os.OpenFile(devDataFile(dir, d), flags|oDirectFlag, 0o644)
+		df, err = os.OpenFile(dataPath, flags|oDirectFlag, 0o644)
 		if err != nil {
 			direct = false
 		}
 	}
 	if df == nil {
-		df, err = os.OpenFile(devDataFile(dir, d), flags, 0o644)
+		df, err = os.OpenFile(dataPath, flags, 0o644)
 		if err != nil {
 			return nil, err
 		}
 	}
-	cf, err := os.OpenFile(devCRCFile(dir, d), flags, 0o644)
+	cf, err := os.OpenFile(crcPath, flags, 0o644)
 	if err != nil {
 		df.Close()
 		return nil, err
@@ -474,6 +486,14 @@ func OpenFileBacked(scheme *core.Scheme, elemSize int, cfg FileConfig) (*Store, 
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
+	// A *.new pair is a migration that crashed before its promote renames:
+	// the live dev_NN pair is still authoritative, so the stale staging copy
+	// is simply dropped.
+	if stray, err := filepath.Glob(filepath.Join(cfg.Dir, "dev_*"+stagingSuffix)); err == nil {
+		for _, p := range stray {
+			os.Remove(p)
+		}
+	}
 	report := &RecoveryReport{ScrubSkipped: cfg.SkipScrub}
 	for d := range st.devices {
 		be, err := openFileBackend(cfg.Dir, d, elemSize, cfg, false)
@@ -489,6 +509,27 @@ func OpenFileBacked(scheme *core.Scheme, elemSize int, cfg FileConfig) (*Store, 
 	fileCfg := cfg
 	st.newBackendFn = func(d int) (devBackend, error) {
 		return openFileBackend(fileCfg.Dir, d, elemSize, fileCfg, true)
+	}
+	st.newStagingBackendFn = func(d int) (devBackend, error) {
+		return openFileBackendPaths(devDataFile(fileCfg.Dir, d)+stagingSuffix,
+			devCRCFile(fileCfg.Dir, d)+stagingSuffix, elemSize, fileCfg, true)
+	}
+	st.promoteStagingFn = func(d int) error {
+		// The staging pair is a byte-exact copy of the live pair's cells, so
+		// even a crash between the two renames leaves equivalent content
+		// under both names. Open fds survive the rename.
+		if err := os.Rename(devDataFile(fileCfg.Dir, d)+stagingSuffix, devDataFile(fileCfg.Dir, d)); err != nil {
+			return err
+		}
+		if err := os.Rename(devCRCFile(fileCfg.Dir, d)+stagingSuffix, devCRCFile(fileCfg.Dir, d)); err != nil {
+			return err
+		}
+		return syncDir(fileCfg.Dir)
+	}
+	st.discardStagingFn = func(d int) error {
+		os.Remove(devDataFile(fileCfg.Dir, d) + stagingSuffix)
+		os.Remove(devCRCFile(fileCfg.Dir, d) + stagingSuffix)
+		return nil
 	}
 	if err := st.recoverFiles(report, cfg.SkipScrub); err != nil {
 		st.closeBackends()

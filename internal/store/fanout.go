@@ -576,6 +576,7 @@ func (p *fanoutPass) execRun(ctx context.Context, run devRun, staged [][]byte) e
 			f = s.inject.ReadFault(run.dev)
 		}
 		if f.Failed {
+			d.noteError()
 			return fmt.Errorf("%w: device %d fail-stopped by fault plan", ErrFailed, run.dev)
 		}
 		if f.Stuck || f.Delay > s.opTimeout {
@@ -584,6 +585,7 @@ func (p *fanoutPass) execRun(ctx context.Context, run devRun, staged [][]byte) e
 			}
 			last = fmt.Errorf("%w: device %d read timed out after %v", ErrUnavailable, run.dev, s.opTimeout)
 			s.obs.retry(false)
+			d.observeLatency(s.opTimeout)
 			continue
 		}
 		if f.Delay > 0 {
@@ -628,6 +630,12 @@ func (p *fanoutPass) execRun(ctx context.Context, run devRun, staged [][]byte) e
 			}
 		}
 		if readErr != nil {
+			// A backend I/O error (not an injected fault) is a hard signal
+			// for the failure detector; corruption and fail-stop marks are
+			// accounted elsewhere.
+			if errors.Is(readErr, ErrUnavailable) {
+				d.noteError()
+			}
 			return readErr
 		}
 		if f.Corrupt {
@@ -635,8 +643,14 @@ func (p *fanoutPass) execRun(ctx context.Context, run devRun, staged [][]byte) e
 			s.obs.retry(false)
 			continue
 		}
-		s.hedgeLat.observe(time.Since(start))
+		elapsed := time.Since(start)
+		s.hedgeLat.observe(elapsed)
+		d.observeLatency(elapsed)
 		return nil
+	}
+	if last != nil {
+		// Retry budget exhausted: the device is limping hard enough to count.
+		d.noteError()
 	}
 	return last
 }

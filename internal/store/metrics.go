@@ -33,6 +33,12 @@ type Metrics struct {
 	diskReads    []*obs.Counter
 	diskWrites   []*obs.Counter
 	diskInflight []*obs.Gauge
+	diskErrors   []*obs.Counter
+	diskLatency  []*obs.Gauge
+
+	recoverElems      *obs.Counter
+	recoverSecRebuild *obs.Histogram
+	recoverSecMigrate *obs.Histogram
 
 	readsNormal   *obs.Counter
 	readsDegraded *obs.Counter
@@ -85,7 +91,19 @@ func NewMetrics(reg *obs.Registry, disks int) *Metrics {
 			"Element-granularity writes per disk.", lbl))
 		m.diskInflight = append(m.diskInflight, reg.Gauge("ecfrm_disk_inflight_runs",
 			"Fan-out runs currently in flight per disk (the load-aware planner's bias signal).", lbl))
+		m.diskErrors = append(m.diskErrors, reg.Counter("ecfrm_disk_errors_total",
+			"Hard device errors per disk: fail-stops, exhausted retry budgets, backend I/O failures (the repair scheduler's error-rate detector input).", lbl))
+		m.diskLatency = append(m.diskLatency, reg.Gauge("ecfrm_disk_latency_ewma_seconds",
+			"Exponentially weighted moving average of per-op service latency per disk (the limping-disk detector input).", lbl))
 	}
+	m.recoverElems = reg.Counter("ecfrm_store_recover_read_elements_total",
+		"Distinct survivor elements read by disk rebuilds and migrations (the paper's recovery read cost).")
+	m.recoverSecRebuild = reg.Histogram("ecfrm_store_recover_seconds",
+		"Wall-clock duration of completed disk recoveries, by kind.",
+		recoverSecondsBuckets, obs.L("kind", "rebuild"))
+	m.recoverSecMigrate = reg.Histogram("ecfrm_store_recover_seconds",
+		"Wall-clock duration of completed disk recoveries, by kind.",
+		recoverSecondsBuckets, obs.L("kind", "migrate"))
 	m.readsNormal = reg.Counter("ecfrm_store_reads_total",
 		"Completed store reads by mode.", obs.L("mode", "normal"))
 	m.readsDegraded = reg.Counter("ecfrm_store_reads_total",
@@ -172,6 +190,53 @@ var ioSecondsBuckets = obs.ExpBuckets(1e-5, 4, 10)
 // sub-millisecond group-commit acks and degrades gracefully under injected
 // device latency.
 var requestSecondsBuckets = obs.ExpBuckets(1e-4, 4, 9)
+
+// recoverSecondsBuckets spans 1ms to ~4.4min exponentially — in-memory
+// rebuilds finish in milliseconds, rate-limited file rebuilds in minutes.
+var recoverSecondsBuckets = obs.ExpBuckets(1e-3, 4, 9)
+
+// observeRecover records one completed disk recovery: its survivor read
+// cost and wall-clock duration, labeled by kind ("rebuild" or "migrate").
+func (m *Metrics) observeRecover(kind string, readElems int, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.recoverElems.Add(int64(readElems))
+	if kind == string(RebuildMigrate) {
+		m.recoverSecMigrate.Observe(seconds)
+	} else {
+		m.recoverSecRebuild.Observe(seconds)
+	}
+}
+
+// RecoverReadElements returns the cumulative survivor-element read count
+// recorded by completed recoveries (the satellite metrics-assertion hook).
+func (m *Metrics) RecoverReadElements() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.recoverElems.Value()
+}
+
+// RecoverCount returns how many recoveries of the given kind have recorded
+// a duration.
+func (m *Metrics) RecoverCount(kind string) int64 {
+	if m == nil {
+		return 0
+	}
+	if kind == string(RebuildMigrate) {
+		return m.recoverSecMigrate.Count()
+	}
+	return m.recoverSecRebuild.Count()
+}
+
+// DiskErrors returns the exported hard-error count for disk d.
+func (m *Metrics) DiskErrors(d int) int64 {
+	if m == nil || d >= len(m.diskErrors) {
+		return 0
+	}
+	return m.diskErrors[d].Value()
+}
 
 // observeRead records one completed read: its mode and its plan's max load.
 func (m *Metrics) observeRead(degraded bool, maxLoad int) {
@@ -343,10 +408,20 @@ func (s *Store) SetMetrics(m *Metrics) {
 	for i, d := range s.devices {
 		d.obsReads, d.obsWrites = m.deviceCounters(i)
 		d.obsInflight = m.deviceInflight(i)
+		d.obsErrors, d.obsLatency = m.deviceHealth(i)
 		if fb, ok := d.be.(*fileBackend); ok {
 			fb.q.setObs(m.queueObsFor(i))
 		}
 	}
+}
+
+// deviceHealth returns the per-disk error counter and latency-EWMA gauge for
+// device d (nil when the bundle is nil or d is out of range).
+func (m *Metrics) deviceHealth(d int) (errs *obs.Counter, lat *obs.Gauge) {
+	if m == nil || d >= len(m.diskErrors) {
+		return nil, nil
+	}
+	return m.diskErrors[d], m.diskLatency[d]
 }
 
 // Metrics returns the installed metrics bundle (nil if none).

@@ -1,0 +1,447 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// TestScrubBatchedConcurrentRead proves the scrub's lock is released between
+// batches: a full-store Scrub yields to a concurrent exclusive writer (and a
+// reader) at every batch boundary instead of queueing them behind one
+// store-length lock hold.
+func TestScrubBatchedConcurrentRead(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, (3*DefaultScrubBatch+5)*stripeBytes, 42)
+
+	yields := 0
+	s.testScrubYield = func(next int) {
+		yields++
+		done := make(chan error, 2)
+		go func() {
+			res, err := s.ReadAt(0, 100)
+			if err == nil && !bytes.Equal(res.Data, data[:100]) {
+				err = errors.New("stale read during scrub")
+			}
+			done <- err
+		}()
+		go func() {
+			// Exclusive-lock op: blocked for the whole scrub if the
+			// scrub held its lock across batches.
+			done <- s.WriteAt(0, data[:s.ElementSize()])
+		}()
+		for i := 0; i < 2; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("concurrent op during scrub batch %d: %v", yields, err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("concurrent op deadlocked during scrub batch %d: scrub is holding the store lock across batches", yields)
+			}
+		}
+	}
+	bad, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean store scrubbed dirty: %v", bad)
+	}
+	if yields < 3 {
+		t.Fatalf("scrub took %d batches, want >= 3 (batching broken)", yields)
+	}
+}
+
+// TestRecoverDiskMetrics checks the rebuild records its read cost and
+// duration in the store's obs bundle.
+func TestRecoverDiskMetrics(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	reg := obs.NewRegistry()
+	s.SetMetrics(NewMetrics(reg, s.Scheme().N()))
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	fill(t, s, 8*stripeBytes, 7)
+
+	s.FailDisk(3)
+	cost, err := s.RecoverDisk(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost == 0 {
+		t.Fatal("rebuild read no survivor elements")
+	}
+	m := s.Metrics()
+	if got := m.RecoverReadElements(); got != int64(cost) {
+		t.Fatalf("recover-read-elements counter = %d, want %d", got, cost)
+	}
+	if got := m.RecoverCount(string(RebuildFailed)); got != 1 {
+		t.Fatalf("rebuild duration histogram count = %d, want 1", got)
+	}
+	if got := m.RecoverCount(string(RebuildMigrate)); got != 0 {
+		t.Fatalf("migrate duration histogram count = %d, want 0", got)
+	}
+}
+
+// TestIncrementalRebuildMatchesRecoverDisk drives a rebuild one stripe per
+// Step and checks the result is indistinguishable from the synchronous
+// wrapper: identical data, clean scrub, device healthy.
+func TestIncrementalRebuildMatchesRecoverDisk(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, 7*stripeBytes+13, 11)
+
+	s.FailDisk(2)
+	r, err := s.BeginDiskRebuild(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		done, err := r.Step(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != s.Stripes() {
+		t.Fatalf("one-stripe steps = %d, want %d", steps, s.Stripes())
+	}
+	if got := s.FailedDisks(); len(got) != 0 {
+		t.Fatalf("disks still failed after rebuild: %v", got)
+	}
+	if got := s.Rebuilding(); len(got) != 0 {
+		t.Fatalf("rebuild still registered: %v", got)
+	}
+	res, err := s.ReadAt(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("rebuilt store returned different data")
+	}
+	if bad, err := s.Scrub(); err != nil || len(bad) != 0 {
+		t.Fatalf("post-rebuild scrub: bad=%v err=%v", bad, err)
+	}
+}
+
+func TestBeginDiskRebuildValidation(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	fill(t, s, 1000, 3)
+	if _, err := s.BeginDiskRebuild(0); err == nil {
+		t.Fatal("rebuild of healthy disk must fail")
+	}
+	if _, err := s.BeginDiskRebuild(-1); err == nil {
+		t.Fatal("rebuild of bogus disk must fail")
+	}
+	s.FailDisk(1)
+	r, err := s.BeginDiskRebuild(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BeginDiskRebuild(1); err == nil {
+		t.Fatal("double begin must fail")
+	}
+	if _, err := s.BeginDiskMigration(1); err == nil {
+		t.Fatal("migrating a failed disk must fail")
+	}
+	r.Abort()
+	if got := s.Rebuilding(); len(got) != 0 {
+		t.Fatalf("abort left rebuild registered: %v", got)
+	}
+	// Abort leaves the disk failed; a fresh begin may start over.
+	if _, err := s.BeginDiskRebuild(1); err != nil {
+		t.Fatalf("begin after abort: %v", err)
+	}
+}
+
+// TestConcurrentReadsDuringRebuild hammers reads while a rebuild steps
+// through its batches — the shared-lock batching must keep every read
+// succeeding with correct data (run under -race).
+func TestConcurrentReadsDuringRebuild(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, 20*stripeBytes, 23)
+
+	s.FailDisk(4)
+	r, err := s.BeginDiskRebuild(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			off := seed * 100
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.ReadAt(int64(off), 256)
+				if err != nil {
+					t.Errorf("read during rebuild: %v", err)
+					return
+				}
+				if !bytes.Equal(res.Data, data[off:off+256]) {
+					t.Error("stale data during rebuild")
+					return
+				}
+			}
+		}(i)
+	}
+	for {
+		done, err := r.Step(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMigrationMem migrates a healthy device onto a fresh in-memory
+// replacement and checks nothing observable changes.
+func TestMigrationMem(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, 9*stripeBytes+5, 31)
+
+	r, err := s.BeginDiskMigration(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Rebuilding(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Rebuilding = %v, want [5]", got)
+	}
+	// Writes are fenced off while a migration may have already copied the
+	// cells a write would touch.
+	if err := s.WriteAt(0, make([]byte, s.ElementSize())); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("WriteAt during migration = %v, want ErrUnavailable", err)
+	}
+	for {
+		done, err := r.Step(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	res, err := s.ReadAt(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("migrated store returned different data")
+	}
+	if bad, err := s.Scrub(); err != nil || len(bad) != 0 {
+		t.Fatalf("post-migration scrub: bad=%v err=%v", bad, err)
+	}
+	// The fence lifts once the migration is done.
+	if err := s.WriteAt(0, data[:s.ElementSize()]); err != nil {
+		t.Fatalf("WriteAt after migration: %v", err)
+	}
+}
+
+// TestMigrationFileBacked checks the staging-file protocol: cells stream
+// into dev_NN.{data,crc}.new, promotion renames them over the originals,
+// and a reopened store recovers cleanly with identical contents.
+func TestMigrationFileBacked(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openFileStore(t, dir)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, 6*stripeBytes, 59)
+
+	r, err := s.BeginDiskMigration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-migration the staging pair exists alongside the live files.
+	if _, err := os.Stat(devDataFile(dir, 1) + stagingSuffix); err != nil {
+		t.Fatalf("staging data file missing mid-migration: %v", err)
+	}
+	for {
+		done, err := r.Step(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	// Promotion renamed the staging pair over the originals.
+	for _, name := range []string{devDataFile(dir, 1) + stagingSuffix, devCRCFile(dir, 1) + stagingSuffix} {
+		if _, err := os.Stat(name); !os.IsNotExist(err) {
+			t.Fatalf("staging file %s survived promotion (err=%v)", name, err)
+		}
+	}
+	res, err := s.ReadAt(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("migrated store returned different data")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := openFileStore(t, dir)
+	defer s2.Close()
+	if rep.HealedCells != 0 {
+		t.Fatalf("reopen after migration healed %d cells, want 0", rep.HealedCells)
+	}
+	if got := readAll(t, s2); !bytes.Equal(got, data) {
+		t.Fatal("reopened store returned different data")
+	}
+}
+
+// TestMigrationAbortDiscardsStaging checks an abandoned migration removes
+// its staging files and leaves the source device serving.
+func TestMigrationAbortDiscardsStaging(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openFileStore(t, dir)
+	defer s.Close()
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, 6*stripeBytes, 61)
+
+	r, err := s.BeginDiskMigration(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	r.Abort()
+	for _, name := range []string{devDataFile(dir, 2) + stagingSuffix, devCRCFile(dir, 2) + stagingSuffix} {
+		if _, err := os.Stat(name); !os.IsNotExist(err) {
+			t.Fatalf("staging file %s survived abort (err=%v)", name, err)
+		}
+	}
+	if got := readAll(t, s); !bytes.Equal(got, data) {
+		t.Fatal("aborted migration changed data")
+	}
+	if err := s.WriteAt(0, data[:s.ElementSize()]); err != nil {
+		t.Fatalf("WriteAt after aborted migration: %v", err)
+	}
+}
+
+// TestScrubRangeBounds exercises the incremental scrub cursor arithmetic.
+func TestScrubRangeBounds(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	fill(t, s, 5*stripeBytes, 17)
+
+	bad, next, err := s.ScrubRange(0, 2)
+	if err != nil || len(bad) != 0 || next != 2 {
+		t.Fatalf("ScrubRange(0,2) = %v,%d,%v", bad, next, err)
+	}
+	// Count past the extent clamps.
+	bad, next, err = s.ScrubRange(3, 100)
+	if err != nil || len(bad) != 0 || next != 5 {
+		t.Fatalf("ScrubRange(3,100) = %v,%d,%v", bad, next, err)
+	}
+	// At or past the extent: no-op, cursor unchanged.
+	if _, next, _ = s.ScrubRange(5, 2); next != 5 {
+		t.Fatalf("ScrubRange(5,2) next = %d, want 5", next)
+	}
+	if _, next, _ = s.ScrubRange(99, 2); next != 99 {
+		t.Fatalf("ScrubRange(99,2) next = %d, want 99", next)
+	}
+}
+
+// TestScrubRangeFindsAndHealStripeFixes corrupts cells in known stripes and
+// drives the detect→heal cycle the background scrubber uses.
+func TestScrubRangeFindsAndHealStripeFixes(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	data := fill(t, s, 6*stripeBytes, 19)
+
+	for _, stripe := range []int{1, 4} {
+		if err := s.CorruptCell(stripe, layout.Pos{Row: 0, Col: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad, _, err := s.ScrubRange(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 2 || bad[0] != 1 || bad[1] != 4 {
+		t.Fatalf("bad stripes = %v, want [1 4]", bad)
+	}
+	total := 0
+	for _, stripe := range bad {
+		healed, err := s.HealStripe(stripe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += healed
+	}
+	if total != 2 {
+		t.Fatalf("healed %d cells, want 2", total)
+	}
+	if bad, err := s.Scrub(); err != nil || len(bad) != 0 {
+		t.Fatalf("post-heal scrub: bad=%v err=%v", bad, err)
+	}
+	res, err := s.ReadAt(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("healed store returned different data")
+	}
+}
+
+// TestDeviceHealthSignals checks the detector inputs: error counts rise on
+// injected faults, latency EWMAs fill in after successful reads.
+func TestDeviceHealthSignals(t *testing.T) {
+	s := testStore(t, layout.FormECFRM)
+	stripeBytes := s.Scheme().DataPerStripe() * s.ElementSize()
+	fill(t, s, 4*stripeBytes, 29)
+
+	if _, err := s.ReadAt(0, 512); err != nil {
+		t.Fatal(err)
+	}
+	lats := s.DiskLatencies()
+	some := false
+	for _, l := range lats {
+		if l > 0 {
+			some = true
+		}
+	}
+	if !some {
+		t.Fatalf("no latency EWMA seeded after reads: %v", lats)
+	}
+
+	errsBefore := s.DiskErrorCounts()
+	// An injected fail-stop verdict counts as a hard error on every touch;
+	// the degraded fallback still serves the read.
+	fastRetries(s)
+	s.SetFaultInjector(stubInjector{read: onlyDev(0, Fault{Failed: true})})
+	if _, err := s.ReadAt(0, 512); err != nil {
+		t.Fatal(err)
+	}
+	errsAfter := s.DiskErrorCounts()
+	if errsAfter[0] <= errsBefore[0] {
+		t.Fatalf("disk 0 error count did not rise: %d -> %d", errsBefore[0], errsAfter[0])
+	}
+}

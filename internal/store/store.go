@@ -118,6 +118,15 @@ type Device struct {
 	// obsInflight mirrors it into the metrics registry.
 	inflight    atomic.Int64
 	obsInflight *obs.Gauge
+	// errs counts hard device errors — fail-stops, exhausted retry budgets,
+	// backend I/O failures — the repair scheduler's error-rate detector
+	// watches. latEWMA is an exponentially weighted moving average of op
+	// service latency in nanoseconds (α = 1/8), the limping-disk signal.
+	// obsErrors/obsLatency mirror both into the metrics registry.
+	errs       atomic.Int64
+	latEWMA    atomic.Int64
+	obsErrors  *obs.Counter
+	obsLatency *obs.Gauge
 }
 
 type cellKey struct {
@@ -145,6 +154,34 @@ func (d *Device) Reads() int { return int(d.reads.Load()) }
 
 // Writes returns the element-granularity write count.
 func (d *Device) Writes() int { return int(d.writes.Load()) }
+
+// Errors returns the hard-error count (fail-stops, exhausted retry budgets,
+// backend I/O failures) since construction.
+func (d *Device) Errors() int64 { return d.errs.Load() }
+
+// noteError counts one hard device error for the failure detectors.
+func (d *Device) noteError() {
+	d.errs.Add(1)
+	d.obsErrors.Inc()
+}
+
+// observeLatency folds one op's service latency into the device's EWMA
+// (α = 1/8; the first sample seeds it) and mirrors the result to the
+// metrics gauge. Lock-free: concurrent readers fold their samples in
+// CAS-retry order.
+func (d *Device) observeLatency(sample time.Duration) {
+	for {
+		old := d.latEWMA.Load()
+		next := int64(sample)
+		if old != 0 {
+			next = old + (int64(sample)-old)/8
+		}
+		if d.latEWMA.CompareAndSwap(old, next) {
+			d.obsLatency.Set(float64(next) / 1e9)
+			return
+		}
+	}
+}
 
 // slot maps a cell to its dense device-local index: within one device a
 // stripe occupies rows consecutive slots, so this is also the cell's on-disk
@@ -257,6 +294,24 @@ type Store struct {
 	fsync        bool
 	newBackendFn func(d int) (devBackend, error)
 	closed       bool
+
+	// Migration staging hooks (file backends; nil means in-memory staging):
+	// newStagingBackendFn opens device d's dev_NN.{data,crc}.new staging
+	// pair, promoteStagingFn renames it over the live pair, and
+	// discardStagingFn removes an abandoned one. See repair.go.
+	newStagingBackendFn func(d int) (devBackend, error)
+	promoteStagingFn    func(d int) error
+	discardStagingFn    func(d int) error
+
+	// rebuilding marks devices with an incremental rebuild or migration in
+	// progress (guarded by mu), so two repairs cannot race on one device and
+	// WriteAt refuses while staged copies could go stale.
+	rebuilding map[int]bool
+
+	// testScrubYield, when set by a test, runs between Scrub batches while
+	// the shared lock is released — the window concurrent reads and writes
+	// are promised.
+	testScrubYield func(next int)
 
 	// mu guards devices' cell maps, failure flags, and the append state.
 	// Reads hold it shared; writes, failure injection, recovery, and healing
@@ -447,6 +502,7 @@ func (s *Store) readCell(dev int, k cellKey) ([]byte, error) {
 // goroutine. Caller holds mu in either mode.
 func (s *Store) readCellCtx(ctx context.Context, dev int, k cellKey) ([]byte, error) {
 	d := s.devices[dev]
+	start := time.Now()
 	var last error
 	for attempt := 0; attempt <= s.retries; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -457,6 +513,7 @@ func (s *Store) readCellCtx(ctx context.Context, dev int, k cellKey) ([]byte, er
 			f = s.inject.ReadFault(dev)
 		}
 		if f.Failed {
+			d.noteError()
 			return nil, fmt.Errorf("%w: device %d fail-stopped by fault plan", ErrFailed, dev)
 		}
 		if f.Stuck || f.Delay > s.opTimeout {
@@ -465,6 +522,7 @@ func (s *Store) readCellCtx(ctx context.Context, dev int, k cellKey) ([]byte, er
 			}
 			last = fmt.Errorf("%w: device %d read timed out after %v", ErrUnavailable, dev, s.opTimeout)
 			s.obs.retry(false)
+			d.observeLatency(s.opTimeout)
 			continue
 		}
 		if f.Delay > 0 {
@@ -480,7 +538,12 @@ func (s *Store) readCellCtx(ctx context.Context, dev int, k cellKey) ([]byte, er
 		data, err := d.read(k)
 		if err != nil {
 			// Failed flag, missing cell, or stored-bytes checksum failure:
-			// none of these are transient, so no retry.
+			// none of these are transient, so no retry. A backend I/O error
+			// (ErrUnavailable from the device itself, not an injected fault)
+			// is a hard signal for the failure detector.
+			if errors.Is(err, ErrUnavailable) {
+				d.noteError()
+			}
 			return nil, err
 		}
 		if f.Corrupt {
@@ -490,7 +553,12 @@ func (s *Store) readCellCtx(ctx context.Context, dev int, k cellKey) ([]byte, er
 			s.obs.retry(false)
 			continue
 		}
+		d.observeLatency(time.Since(start))
 		return data, nil
+	}
+	if last != nil {
+		// Retry budget exhausted: the device is limping hard enough to count.
+		d.noteError()
 	}
 	return nil, last
 }
@@ -509,6 +577,7 @@ func (s *Store) writeGate(dev int) error {
 			f = s.inject.WriteFault(dev)
 		}
 		if f.Failed {
+			s.devices[dev].noteError()
 			return fmt.Errorf("%w: device %d fail-stopped by fault plan", ErrFailed, dev)
 		}
 		if f.Stuck || f.Delay > s.opTimeout {
@@ -526,6 +595,9 @@ func (s *Store) writeGate(dev int) error {
 			continue
 		}
 		return nil
+	}
+	if last != nil {
+		s.devices[dev].noteError()
 	}
 	return last
 }
@@ -1059,6 +1131,13 @@ func (s *Store) checkWriteArgs(off int64, data []byte) error {
 	if failed := s.failedDisksLocked(); len(failed) > 0 {
 		return fmt.Errorf("%w: cannot update with failed disks %v (recover first)", ErrFailed, failed)
 	}
+	if len(s.rebuilding) > 0 {
+		// A migration's staged copy would go stale under an in-place update
+		// (its already-copied stripes are not re-read). Transient: retry
+		// after the repair finishes.
+		return fmt.Errorf("%w: cannot update while devices %v are being rebuilt or migrated",
+			ErrUnavailable, keysSorted(s.rebuilding))
+	}
 	return nil
 }
 
@@ -1141,179 +1220,6 @@ func (s *Store) WriteAtReencode(off int64, data []byte) error {
 	}
 	s.bumpEpoch()
 	return nil
-}
-
-// RecoverDisk rebuilds every element of failed device d from the survivors
-// onto a fresh replacement, clears the failure flag, and returns the number
-// of distinct elements read from other devices during the repair.
-//
-// Recovery is I/O-minimal per group: each lost cell is rebuilt from the
-// candidate code's cheapest usable recovery set (LRC's local groups make
-// this k/l reads per data element instead of k), with reads shared across
-// the lost cells of a stripe. If no minimal set survives (multiple failures
-// or corruption), the group falls back to reading every surviving element.
-func (s *Store) RecoverDisk(d int) (readCost int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dev := s.devices[d]
-	if !dev.failed {
-		return 0, fmt.Errorf("store: device %d is not failed", d)
-	}
-	failedSet := make(map[int]bool)
-	for _, f := range s.failedDisksLocked() {
-		failedSet[f] = true
-	}
-	lay := s.scheme.Layout()
-	code := s.scheme.Code()
-	replacement := newDevice(d, s.rows)
-	// The replacement inherits the failed device's metric series: to the
-	// registry it is the same disk slot.
-	replacement.obsReads, replacement.obsWrites = dev.obsReads, dev.obsWrites
-	replacement.obsInflight = dev.obsInflight
-	if s.newBackendFn != nil {
-		// File backend: the replacement writes to the same dev_NN files, so
-		// the failed device's handles must close before the factory reopens
-		// them truncated. The old contents are untrusted anyway — that is
-		// what "failed" means — and the device stays marked failed until the
-		// rebuild completes, so no reader touches the half-built files.
-		if err := dev.be.close(); err != nil {
-			dev.be = newMemBackend() // dead placeholder; keeps later Close safe
-			return 0, fmt.Errorf("store: recover device %d: close old backend: %w", d, err)
-		}
-		dev.be = newMemBackend()
-		be, berr := s.newBackendFn(d)
-		if berr != nil {
-			return 0, fmt.Errorf("store: recover device %d: open replacement: %w", d, berr)
-		}
-		replacement.be = be
-		defer func() {
-			if err != nil {
-				// Rebuild failed partway: keep the device failed but give it
-				// the replacement backend so its files stay managed (a retry
-				// closes and re-truncates them).
-				dev.be = be
-			}
-		}()
-	}
-
-	for stripe := 0; stripe < s.stripes; stripe++ {
-		// Per-stripe read cache: an element fetched for one group's repair
-		// is free for the next (same physical element).
-		fetched := make(map[layout.Pos][]byte)
-		fetch := func(pos layout.Pos) ([]byte, bool) {
-			if data, ok := fetched[pos]; ok {
-				return data, true
-			}
-			disk := lay.Disk(stripe, pos.Col)
-			if failedSet[disk] {
-				return nil, false
-			}
-			data, err := s.readCell(disk, cellKey{stripe, pos})
-			if err != nil {
-				// Failed, unavailable, or silently corrupt: treat as erased.
-				return nil, false
-			}
-			fetched[pos] = data
-			readCost++
-			return data, true
-		}
-
-		col := lay.Col(stripe, d)
-		for row := 0; row < lay.Rows(); row++ {
-			pos := layout.Pos{Row: row, Col: col}
-			cell := lay.CellAt(pos)
-			group := make([][]byte, code.N())
-			ok := false
-			// Try the cheapest surviving recovery set first.
-			for _, set := range code.RecoverySets(cell.Element) {
-				usable := true
-				for _, t := range set {
-					if _, have := fetch(lay.GroupCell(cell.Group, t)); !have {
-						usable = false
-						break
-					}
-				}
-				if usable {
-					for _, t := range set {
-						group[t] = fetched[lay.GroupCell(cell.Group, t)]
-					}
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				// Fallback: every surviving element of the group.
-				for t := 0; t < code.N(); t++ {
-					if t == cell.Element {
-						continue
-					}
-					if data, have := fetch(lay.GroupCell(cell.Group, t)); have {
-						group[t] = data
-					}
-				}
-			}
-			if rerr := code.ReconstructElements(group, []int{cell.Element}); rerr != nil {
-				err = fmt.Errorf("store: rebuild stripe %d cell (%d,%d): %w",
-					stripe, pos.Row, pos.Col, rerr)
-				return readCost, err
-			}
-			if werr := replacement.write(cellKey{stripe, pos}, group[cell.Element]); werr != nil {
-				err = fmt.Errorf("store: rebuild stripe %d cell (%d,%d): %w",
-					stripe, pos.Row, pos.Col, werr)
-				return readCost, err
-			}
-		}
-	}
-	// Durability before visibility: the rebuilt contents hit stable storage
-	// before the swap clears the failed flag and readers route back here.
-	if s.fsync {
-		if serr := replacement.be.sync(); serr != nil {
-			err = fmt.Errorf("store: recover device %d: fsync: %w", d, serr)
-			return readCost, err
-		}
-	}
-	s.devices[d] = replacement
-	s.bumpEpoch()
-	return readCost, nil
-}
-
-// Scrub verifies parity consistency of every sealed stripe, returning the
-// indices of corrupt stripes (nil if all clean). It reads every cell.
-func (s *Store) Scrub() ([]int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	lay := s.scheme.Layout()
-	n := s.scheme.N()
-	var bad []int
-	for stripe := 0; stripe < s.stripes; stripe++ {
-		cells := make([][]byte, s.scheme.CellsPerStripe())
-		corrupt := false
-		for row := 0; row < lay.Rows() && !corrupt; row++ {
-			for col := 0; col < n; col++ {
-				data, err := s.readCell(lay.Disk(stripe, col), cellKey{stripe, layout.Pos{Row: row, Col: col}})
-				if errors.Is(err, ErrCorrupt) {
-					corrupt = true
-					break
-				}
-				if err != nil {
-					return nil, err
-				}
-				cells[row*n+col] = data
-			}
-		}
-		if corrupt {
-			bad = append(bad, stripe)
-			continue
-		}
-		ok, err := s.scheme.VerifyStripe(cells)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			bad = append(bad, stripe)
-		}
-	}
-	return bad, nil
 }
 
 // CorruptCell overwrites one stored cell with garbage — a test hook for

@@ -628,29 +628,57 @@ func TestConcurrentReadersWithMutation(t *testing.T) {
 		}(int64(g))
 	}
 
-	// Mutators: cycle failures within tolerance, recover, corrupt cells
-	// (readers heal them via the exclusive-retry path).
-	for g := 0; g < 2; g++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(1000 + seed))
-			for i := 0; i < 30; i++ {
-				switch rng.Intn(3) {
-				case 0:
-					s.FailDiskWithinTolerance(rng.Intn(s.Scheme().N()))
-				case 1:
-					for _, d := range s.FailedDisks() {
-						s.RecoverDisk(d)
-					}
-				case 2:
-					lay := s.Scheme().Layout()
-					pos := layout.Pos{Row: rng.Intn(lay.Rows()), Col: rng.Intn(lay.N())}
-					s.CorruptCell(rng.Intn(s.Stripes()), pos)
+	// Mutators, each owning one kind of damage so their sum stays within
+	// the scheme's tolerance: the failure mutator keeps at most
+	// FaultTolerance()-1 disks down (leaving erasure headroom), and the
+	// corruption mutator keeps at most one corrupt cell outstanding —
+	// exercising heal-on-read, then guaranteeing the heal with HealStripe
+	// before corrupting again. Tolerance-many failed disks PLUS an
+	// unhealed corrupt cell in the same stripe group is genuine data loss,
+	// not chaos, and incremental rebuilds hold disks in the failed state
+	// long enough to make that collision reachable.
+	tol := s.Scheme().FaultTolerance()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1000))
+		for i := 0; i < 30; i++ {
+			if rng.Intn(2) == 0 && len(s.FailedDisks()) < tol-1 {
+				s.FailDiskWithinTolerance(rng.Intn(s.Scheme().N()))
+			} else {
+				for _, d := range s.FailedDisks() {
+					s.RecoverDisk(d)
 				}
 			}
-		}(int64(g))
-	}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1001))
+		lay := s.Scheme().Layout()
+		for i := 0; i < 30; i++ {
+			stripe := rng.Intn(s.Stripes())
+			pos := layout.Pos{Row: rng.Intn(lay.Rows()), Col: rng.Intn(lay.N())}
+			if err := s.CorruptCell(stripe, pos); err != nil {
+				continue
+			}
+			// A data-cell read heals through the exclusive-retry path;
+			// HealStripe then guarantees the cell (data or parity) is fixed
+			// so the next corruption is never the second one outstanding.
+			off := stripe * stripeBytes
+			if res, err := s.ReadAt(int64(off), stripeBytes); err == nil {
+				if !bytes.Equal(res.Data, data[off:off+stripeBytes]) {
+					report(fmt.Errorf("heal read stripe %d returned wrong bytes", stripe))
+					return
+				}
+			}
+			if _, err := s.HealStripe(stripe); err != nil {
+				report(fmt.Errorf("heal stripe %d: %v", stripe, err))
+				return
+			}
+		}
+	}()
 
 	wg.Wait()
 	close(errCh)
@@ -661,7 +689,7 @@ func TestConcurrentReadersWithMutation(t *testing.T) {
 	// Settle and verify the store is fully intact.
 	for _, d := range s.FailedDisks() {
 		if _, err := s.RecoverDisk(d); err != nil {
-			t.Fatalf("settle recover %d: %v", d, err)
+			t.Fatalf("settle recover %d: %v (failed=%v)", d, err, s.FailedDisks())
 		}
 	}
 	res, err := s.ReadAt(0, len(data))
