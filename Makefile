@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json disk-smoke disk-json repair-smoke repair-chaos repair-json
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json disk-smoke disk-json repair-smoke repair-chaos repair-json cluster-smoke cluster-json
 
 all: build
 
@@ -24,7 +24,7 @@ race:
 # server, the store's reader/mutator paths, the streaming pipeline, and the
 # metrics registry every scrape races against.
 race-io:
-	$(GO) test -race ./internal/httpd/... ./internal/store/... ./internal/shardio/... ./internal/obs/...
+	$(GO) test -race ./internal/httpd/... ./internal/store/... ./internal/shardio/... ./internal/obs/... ./internal/gateway/... ./internal/datanode/...
 
 # A fast benchmark pass (one short iteration per benchmark) that catches
 # panics/regressions in the bench harnesses without waiting for full timings.
@@ -113,6 +113,20 @@ repair-chaos:
 repair-json:
 	$(GO) run ./cmd/ecfrmbench -repair BENCH_repair.json
 
+# End-to-end networked-cluster check: three file-backed data-node processes
+# behind a gateway process on localhost, readiness-gated startup, a concurrent
+# PUT burst, hedge activity under an injected slow device, and a SIGKILLed
+# node mid-traffic with zero failed reads — every GET byte-identical through
+# degraded reconstruction, replan/degraded/node-down series live on /metrics.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
+
+# The committed cluster numbers (BENCH_cluster.json): local vs networked vs
+# networked+hedged read latency, and degraded-read network amplification with
+# one node down.
+cluster-json:
+	$(GO) run ./cmd/ecfrmbench -cluster BENCH_cluster.json
+
 # A short fuzz run over the GF kernel equivalence target.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
@@ -126,4 +140,4 @@ chaos:
 	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
 		./internal/faultinject/ ./internal/shardio/
 
-ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke disk-smoke disk-json repair-smoke repair-chaos chaos
+ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke disk-smoke disk-json repair-smoke repair-chaos cluster-smoke cluster-json chaos

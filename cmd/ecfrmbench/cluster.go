@@ -1,0 +1,300 @@
+// Cluster benchmark mode: -cluster <path> measures what the network costs —
+// and what hedging buys back — by running the same reads three ways and
+// writing BENCH_cluster.json:
+//
+//   - local: one in-process store, the single-box baseline.
+//   - networked: a gateway fanning cell reads over HTTP to in-process data
+//     nodes (real sockets via httptest, loopback transport).
+//   - networked-hedged: the same cluster with hedged reads racing parity
+//     reconstruction against stragglers.
+//
+// Each networked configuration is then re-measured with one whole node gone,
+// recording degraded-read latency and the network read amplification (cell
+// bytes fetched from nodes ÷ payload bytes served) — the paper's degraded
+// read cost, observed on the wire instead of in a plan.
+//
+// Every read is byte-verified against the original payload, so a fast-but-
+// wrong path cannot post a score.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datanode"
+	"repro/internal/gateway"
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/rs"
+	"repro/internal/store"
+)
+
+const (
+	clusterElemBytes   = 4 << 10
+	clusterObjectElems = 16 // 64 KiB objects
+	clusterObjects     = 24
+	clusterGroups      = 2
+	clusterBenchReps   = 40
+)
+
+type clusterResult struct {
+	Config string  `json:"config"` // local | networked | networked-hedged
+	Phase  string  `json:"phase"`  // healthy | node-down
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// NetReadBytes is the cell payload fetched from data nodes during this
+	// configuration's timed reads (0 for local).
+	NetReadBytes int64 `json:"net_read_bytes,omitempty"`
+	// NetReadAmplification is NetReadBytes ÷ payload bytes served — 1.0 when
+	// every fetched cell is user data, higher when reconstruction (degraded
+	// reads, hedges) pulls extra cells.
+	NetReadAmplification float64 `json:"net_read_amplification,omitempty"`
+}
+
+type clusterReport struct {
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	CPUs        int             `json:"cpus"`
+	Timestamp   string          `json:"timestamp"`
+	Scheme      string          `json:"scheme"`
+	ElemBytes   int             `json:"elem_bytes"`
+	ObjectBytes int             `json:"object_bytes"`
+	Objects     int             `json:"objects"`
+	Nodes       int             `json:"nodes"`
+	Groups      int             `json:"groups"`
+	Reps        int             `json:"reps"`
+	Results     []clusterResult `json:"results"`
+}
+
+// runClusterBench stands up the in-process cluster, runs every configuration
+// through both phases, and writes the JSON report to path.
+func runClusterBench(path string) error {
+	code, err := rs.New(6, 3)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.NewScheme(code, layout.FormECFRM)
+	if err != nil {
+		return err
+	}
+	nNodes := (scheme.N() + scheme.FaultTolerance() - 1) / scheme.FaultTolerance()
+	if nNodes < 3 {
+		nNodes = 3
+	}
+
+	reg := obs.NewRegistry()
+	var nodes []*datanode.Server
+	var servers []*httptest.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	urls := make([]string, nNodes)
+	for i := 0; i < nNodes; i++ {
+		n, err := datanode.New(datanode.Config{
+			ElemSize: clusterElemBytes,
+			Registry: reg.With(obs.L("component", "node"), obs.L("node", fmt.Sprint(i))),
+		})
+		if err != nil {
+			return err
+		}
+		srv := httptest.NewServer(n)
+		nodes = append(nodes, n)
+		servers = append(servers, srv)
+		urls[i] = srv.URL
+	}
+	gw, err := gateway.New(gateway.Config{
+		Nodes:         urls,
+		Groups:        clusterGroups,
+		ElemSize:      clusterElemBytes,
+		Registry:      reg,
+		Scheme:        scheme,
+		SyncWrites:    true,
+		ProbeInterval: 50 * time.Millisecond,
+		WAL:           store.WALConfig{FlushInterval: time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	local, err := store.New(scheme, clusterElemBytes)
+	if err != nil {
+		return err
+	}
+	defer local.Close()
+	localWAL := store.NewWAL(local, store.WALConfig{FlushInterval: time.Millisecond})
+	defer localWAL.Close()
+
+	// Seed the same objects into both worlds.
+	rng := rand.New(rand.NewSource(19))
+	objectBytes := clusterObjectElems * clusterElemBytes
+	type obj struct {
+		name     string
+		payload  []byte
+		localOff int64
+	}
+	objs := make([]obj, clusterObjects)
+	for i := range objs {
+		o := obj{name: fmt.Sprintf("bench-%03d", i), payload: make([]byte, objectBytes)}
+		rng.Read(o.payload)
+		req := httptest.NewRequest(http.MethodPut, "/objects/"+o.name, bytes.NewReader(o.payload))
+		rec := httptest.NewRecorder()
+		gw.ServeHTTP(rec, req)
+		if rec.Code != http.StatusCreated {
+			return fmt.Errorf("seed PUT %s: %d %s", o.name, rec.Code, rec.Body.String())
+		}
+		if o.localOff, err = localWAL.Put(context.Background(), o.payload); err != nil {
+			return fmt.Errorf("seed local put: %w", err)
+		}
+		objs[i] = o
+	}
+
+	// The per-node read counters the remoteCell clients increment; summed
+	// deltas around a timed block give that block's wire traffic.
+	gwReg := reg.With(obs.L("component", "gateway"))
+	readCounters := make([]*obs.Counter, nNodes)
+	for i := range readCounters {
+		readCounters[i] = gwReg.Counter("ecfrm_gateway_node_read_bytes_total", "", obs.L("node", fmt.Sprint(i)))
+	}
+	netReadBytes := func() int64 {
+		var sum int64
+		for _, c := range readCounters {
+			sum += c.Value()
+		}
+		return sum
+	}
+
+	readLocal := func(o obj) (time.Duration, error) {
+		start := time.Now()
+		res, err := local.ReadAt(o.localOff, len(o.payload))
+		elapsed := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(res.Data, o.payload) {
+			return 0, fmt.Errorf("local read of %s returned wrong bytes", o.name)
+		}
+		return elapsed, nil
+	}
+	readGateway := func(o obj, query string) (time.Duration, error) {
+		req := httptest.NewRequest(http.MethodGet, "/objects/"+o.name+query, nil)
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		gw.ServeHTTP(rec, req)
+		elapsed := time.Since(start)
+		if rec.Code != http.StatusOK {
+			return 0, fmt.Errorf("GET %s%s: %d %s", o.name, query, rec.Code, rec.Body.String())
+		}
+		if !bytes.Equal(rec.Body.Bytes(), o.payload) {
+			return 0, fmt.Errorf("GET %s%s returned wrong bytes", o.name, query)
+		}
+		return elapsed, nil
+	}
+
+	rep := clusterReport{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.GOMAXPROCS(0),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Scheme:      scheme.Name(),
+		ElemBytes:   clusterElemBytes,
+		ObjectBytes: objectBytes,
+		Objects:     clusterObjects,
+		Nodes:       nNodes,
+		Groups:      clusterGroups,
+		Reps:        clusterBenchReps,
+	}
+	fmt.Printf("cluster read sweep: %s, %d nodes, %d groups, %d×%dKiB objects, %d reps\n",
+		scheme.Name(), nNodes, clusterGroups, clusterObjects, objectBytes>>10, clusterBenchReps)
+	fmt.Printf("%-18s %-10s %9s %9s %14s %7s\n",
+		"config", "phase", "p50 ms", "p99 ms", "net bytes", "amp")
+
+	measure := func(config, phase string, read func(obj) (time.Duration, error), wired bool) error {
+		// Warmup outside the timed window.
+		for i := 0; i < 5; i++ {
+			if _, err := read(objs[i%len(objs)]); err != nil {
+				return fmt.Errorf("%s/%s warmup: %w", config, phase, err)
+			}
+		}
+		before := netReadBytes()
+		lats := make([]time.Duration, 0, clusterBenchReps)
+		for i := 0; i < clusterBenchReps; i++ {
+			d, err := read(objs[(i*7)%len(objs)])
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", config, phase, err)
+			}
+			lats = append(lats, d)
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		r := clusterResult{
+			Config: config,
+			Phase:  phase,
+			P50Ms:  float64(lats[len(lats)/2]) / 1e6,
+			P99Ms:  float64(lats[(len(lats)*99)/100]) / 1e6,
+		}
+		if wired {
+			r.NetReadBytes = netReadBytes() - before
+			r.NetReadAmplification = float64(r.NetReadBytes) / float64(clusterBenchReps*objectBytes)
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-18s %-10s %9.3f %9.3f %14d %7.2f\n",
+			r.Config, r.Phase, r.P50Ms, r.P99Ms, r.NetReadBytes, r.NetReadAmplification)
+		return nil
+	}
+
+	if err := measure("local", "healthy", readLocal, false); err != nil {
+		return err
+	}
+	if err := measure("networked", "healthy",
+		func(o obj) (time.Duration, error) { return readGateway(o, "") }, true); err != nil {
+		return err
+	}
+	if err := measure("networked-hedged", "healthy",
+		func(o obj) (time.Duration, error) { return readGateway(o, "?hedge=1") }, true); err != nil {
+		return err
+	}
+
+	// Kill one whole node: reads must keep succeeding byte-identically,
+	// reconstructing the lost cells from the survivors — the degraded rows
+	// record what that reconstruction costs on the wire.
+	servers[1].Close()
+	if err := measure("networked", "node-down",
+		func(o obj) (time.Duration, error) { return readGateway(o, "") }, true); err != nil {
+		return err
+	}
+	if err := measure("networked-hedged", "node-down",
+		func(o obj) (time.Duration, error) { return readGateway(o, "?hedge=1") }, true); err != nil {
+		return err
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

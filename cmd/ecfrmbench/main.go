@@ -45,6 +45,7 @@ func main() {
 		writepath   = flag.String("writepath", "", "run the group-commit write path benchmark and write JSON to this path (e.g. BENCH_writepath.json), then exit")
 		diskOut     = flag.String("disk", "", "run the file-backend disk benchmark and write JSON to this path (e.g. BENCH_disk.json), then exit")
 		repairOut   = flag.String("repair", "", "run the repair scheduler MTTR-vs-rate benchmark and write JSON to this path (e.g. BENCH_repair.json), then exit")
+		clusterOut  = flag.String("cluster", "", "run the local-vs-networked cluster read benchmark and write JSON to this path (e.g. BENCH_cluster.json), then exit")
 		diskDirect  = flag.Bool("disk-direct", false, "request O_DIRECT on the disk benchmark's device files")
 		parallel    = flag.Int("parallel", 0, "measure figure (code, form) cells across this many workers; results are bit-identical to sequential")
 	)
@@ -88,6 +89,13 @@ func main() {
 	if *repairOut != "" {
 		if err := runRepairBench(*repairOut); err != nil {
 			fmt.Fprintln(os.Stderr, "repair:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterOut != "" {
+		if err := runClusterBench(*clusterOut); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/store"
+)
+
+// runGateway serves the object API over the data nodes in -nodes: one real
+// store per placement group whose devices are HTTP cell clients, so fan-out,
+// hedging, degraded replanning, and group-commit WAL writes all run across
+// the network unchanged.
+func runGateway() {
+	var urls []string
+	for _, u := range strings.Split(*nodesFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("ecfrmd: -mode=gateway requires -nodes (comma-separated base URLs)")
+	}
+	if *fsync != string(store.FsyncAlways) && *fsync != string(store.FsyncNever) {
+		log.Fatalf("ecfrmd: unknown -fsync mode %q (always or never)", *fsync)
+	}
+	scheme := buildScheme()
+	gw, err := gateway.New(gateway.Config{
+		Nodes:    urls,
+		Groups:   *groups,
+		ElemSize: *elem,
+		Scheme:   scheme,
+		WAL:      store.WALConfig{BatchBytes: *walBatch, FlushInterval: *walEvery},
+		Read: store.ReadOptions{
+			Sequential:  !*fanout,
+			Concurrency: *readConc,
+			Hedge: store.HedgeConfig{
+				Enabled:  *hedge,
+				Quantile: *hedgeQ,
+				Min:      *hedgeMin,
+			},
+		},
+		NodeTimeout:   *nodeTimeout,
+		ProbeInterval: *probeEvery,
+		SyncWrites:    *fsync == string(store.FsyncAlways),
+		Recover:       *gwRecover,
+	})
+	if err != nil {
+		log.Fatal("ecfrmd: ", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("gateway: %s over %d nodes, %d groups, elem %d, tolerates %d disk failures per group, on %s",
+		scheme.Name(), len(urls), *groups, *elem, scheme.FaultTolerance(), *addr)
+	serveUntilSignalled(srv, nil, gw.Close)
+}

@@ -81,6 +81,32 @@
 // The daemon shuts down gracefully: SIGINT/SIGTERM stops accepting new
 // connections, drains in-flight requests for up to 10 seconds, then commits
 // anything still queued in the WAL.
+//
+// Cluster modes: -mode picks which half of the cluster split this process
+// runs. The default, -mode=single, is everything in one process as described
+// above. -mode=node serves a data node: dumb per-(group,disk) cell extents
+// behind the nodeapi HTTP protocol (mem or file backend, rediscovered from
+// -data-dir on restart), plus /healthz, /readyz, /node/status, and /metrics.
+// -mode=gateway serves the object API by fanning erasure-coded cell I/O out
+// to the nodes listed in -nodes, hashing object names across -groups stripe
+// groups:
+//
+//	ecfrmd -mode=node -addr :9001 -elem 65536 -backend=file -data-dir /var/lib/ecfrm/n1
+//	ecfrmd -mode=node -addr :9002 -elem 65536 -backend=file -data-dir /var/lib/ecfrm/n2
+//	ecfrmd -mode=node -addr :9003 -elem 65536 -backend=file -data-dir /var/lib/ecfrm/n3
+//	ecfrmd -mode=gateway -addr :8080 -elem 65536 \
+//	    -nodes http://localhost:9001,http://localhost:9002,http://localhost:9003
+//	curl -X PUT --data-binary @song.mp3 localhost:8080/objects/song.mp3
+//	curl localhost:8080/objects/song.mp3 -o out.mp3    # cells fetched node-side
+//
+// The gateway accepts the same scheme, WAL, and read-executor flags as
+// single mode (-code/-k/-l/-m/-form, -wal-batch/-wal-flush-interval,
+// -fanout/-read-concurrency/-hedge*), probes node health every
+// -probe-interval, re-derives sealed extents from the nodes with -recover,
+// and runs the node-side fsync commit barrier unless -fsync=never. Killing a
+// whole node mid-traffic keeps reads serving degraded through the surviving
+// nodes as long as the placement keeps each group within the scheme's fault
+// tolerance (the gateway refuses to start otherwise; add nodes or lower n).
 package main
 
 import (
@@ -108,40 +134,61 @@ import (
 	"repro/internal/store"
 )
 
+var (
+	mode     = flag.String("mode", "single", "process role: single (store+API in one process), node (data node), gateway (access service over -nodes)")
+	addr     = flag.String("addr", ":8080", "listen address")
+	code     = flag.String("code", "lrc", "candidate code: rs or lrc")
+	k        = flag.Int("k", 6, "data elements per row")
+	l        = flag.Int("l", 2, "local parities (lrc only)")
+	m        = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
+	form     = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
+	elem     = flag.Int("elem", 64<<10, "element size in bytes")
+	backend  = flag.String("backend", "mem", "device backend: mem (volatile) or file (one data/crc file pair per device)")
+	dataDir  = flag.String("data-dir", "", "data directory for -backend=file")
+	fsync    = flag.String("fsync", "always", "file backend durability: always (fsync barrier per commit) or never")
+	direct   = flag.Bool("direct", false, "request O_DIRECT on device data files (needs 4KiB-aligned -elem)")
+	walLog   = flag.String("wal-log", "", "WAL spill file (default <data-dir>/wal.log with -backend=file; empty with mem)")
+	faults   = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
+	obsOn    = flag.Bool("obs", false, "enable pprof endpoints and the periodic load-imbalance log line")
+	obsEvery = flag.Duration("obs-interval", 10*time.Second, "load-imbalance log interval (with -obs)")
+
+	walBatch = flag.Int("wal-batch", 0, "group-commit byte threshold for PUTs (0 = one stripe of user data)")
+	walEvery = flag.Duration("wal-flush-interval", store.DefaultFlushInterval,
+		"max time a queued PUT waits for a group commit")
+
+	repairOn   = flag.Bool("repair", false, "run the background repair/scrub scheduler")
+	repairRate = flag.Float64("repair-rate", 32, "repair bandwidth budget in MiB/s of rebuilt data (0 pauses rebuilds)")
+	scrubEvery = flag.Duration("scrub-interval", time.Minute, "pause between incremental scrub batches (negative disables scrub; needs -repair)")
+
+	fanout   = flag.Bool("fanout", true, "serve reads through the parallel fan-out executor (false = sequential)")
+	readConc = flag.Int("read-concurrency", 0, "max devices served concurrently per read (0 = one worker per device)")
+	hedge    = flag.Bool("hedge", false, "hedge straggling device reads from parity-equivalent sources")
+	hedgeQ   = flag.Float64("hedge-quantile", 0.9, "latency quantile after which a straggler is hedged")
+	hedgeMin = flag.Duration("hedge-min", time.Millisecond, "lower clamp on the hedge delay")
+
+	nodesFlag   = flag.String("nodes", "", "comma-separated data-node base URLs (gateway mode, required)")
+	groups      = flag.Int("groups", 4, "stripe groups object names hash across (gateway mode)")
+	probeEvery  = flag.Duration("probe-interval", time.Second, "node health-probe cadence (gateway mode)")
+	nodeTimeout = flag.Duration("node-timeout", 5*time.Second, "per-node request timeout before a node counts as unavailable (gateway mode)")
+	gwRecover   = flag.Bool("recover", false, "re-derive sealed extents from the nodes at startup (gateway mode)")
+)
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		code     = flag.String("code", "lrc", "candidate code: rs or lrc")
-		k        = flag.Int("k", 6, "data elements per row")
-		l        = flag.Int("l", 2, "local parities (lrc only)")
-		m        = flag.Int("m", 2, "parities (rs) / global parities (lrc)")
-		form     = flag.String("form", "ecfrm", "layout: standard, rotated, ecfrm")
-		elem     = flag.Int("elem", 64<<10, "element size in bytes")
-		backend  = flag.String("backend", "mem", "device backend: mem (volatile) or file (one data/crc file pair per device)")
-		dataDir  = flag.String("data-dir", "", "data directory for -backend=file")
-		fsync    = flag.String("fsync", "always", "file backend durability: always (fsync barrier per commit) or never")
-		direct   = flag.Bool("direct", false, "request O_DIRECT on device data files (needs 4KiB-aligned -elem)")
-		walLog   = flag.String("wal-log", "", "WAL spill file (default <data-dir>/wal.log with -backend=file; empty with mem)")
-		faults   = flag.String("faults", "", "JSON fault plan to install at startup (see internal/faultinject)")
-		obsOn    = flag.Bool("obs", false, "enable pprof endpoints and the periodic load-imbalance log line")
-		obsEvery = flag.Duration("obs-interval", 10*time.Second, "load-imbalance log interval (with -obs)")
-
-		walBatch = flag.Int("wal-batch", 0, "group-commit byte threshold for PUTs (0 = one stripe of user data)")
-		walEvery = flag.Duration("wal-flush-interval", store.DefaultFlushInterval,
-			"max time a queued PUT waits for a group commit")
-
-		repairOn   = flag.Bool("repair", false, "run the background repair/scrub scheduler")
-		repairRate = flag.Float64("repair-rate", 32, "repair bandwidth budget in MiB/s of rebuilt data (0 pauses rebuilds)")
-		scrubEvery = flag.Duration("scrub-interval", time.Minute, "pause between incremental scrub batches (negative disables scrub; needs -repair)")
-
-		fanout   = flag.Bool("fanout", true, "serve reads through the parallel fan-out executor (false = sequential)")
-		readConc = flag.Int("read-concurrency", 0, "max devices served concurrently per read (0 = one worker per device)")
-		hedge    = flag.Bool("hedge", false, "hedge straggling device reads from parity-equivalent sources")
-		hedgeQ   = flag.Float64("hedge-quantile", 0.9, "latency quantile after which a straggler is hedged")
-		hedgeMin = flag.Duration("hedge-min", time.Millisecond, "lower clamp on the hedge delay")
-	)
 	flag.Parse()
+	switch *mode {
+	case "single":
+		runSingle()
+	case "node":
+		runNode()
+	case "gateway":
+		runGateway()
+	default:
+		log.Fatalf("ecfrmd: unknown -mode %q (single, node, or gateway)", *mode)
+	}
+}
 
+// buildScheme constructs the erasure-coding scheme from the code flags.
+func buildScheme() *core.Scheme {
 	var (
 		scheme *core.Scheme
 		err    error
@@ -163,6 +210,47 @@ func main() {
 	if err != nil {
 		log.Fatal("ecfrmd: ", err)
 	}
+	return scheme
+}
+
+// serveUntilSignalled runs srv until SIGINT/SIGTERM, flips the drain hook (so
+// /readyz starts failing while in-flight requests finish), shuts the listener
+// down with a 10s grace, then runs the closers in order.
+func serveUntilSignalled(srv *http.Server, drain func(), closers ...func() error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal("ecfrmd: ", err)
+	case <-ctx.Done():
+		stop()
+		if drain != nil {
+			drain()
+		}
+		log.Print("signal received, draining (10s grace)")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Fatal("ecfrmd: shutdown: ", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("ecfrmd: ", err)
+		}
+		for _, fn := range closers {
+			if err := fn(); err != nil {
+				log.Fatal("ecfrmd: close: ", err)
+			}
+		}
+		log.Print("drained, bye")
+	}
+}
+
+// runSingle is the original everything-in-one-process daemon.
+func runSingle() {
+	scheme := buildScheme()
+	var err error
 	var st *store.Store
 	switch *backend {
 	case "mem":

@@ -14,6 +14,14 @@
 // the bottleneck every layout converges — and degraded reads, which move
 // plan.Cost()× the payload across the network, suffer first. That is the
 // quantitative content of the paper's §III scoping remark.
+//
+// The simulator and the real cluster (internal/gateway over
+// internal/datanode) share the same placement types: NewPlaced deploys a
+// group of the same placement.Map the gateway routes with, aggregating the
+// disks each node serves onto that node's drive and link. A plan priced
+// here and a plan executed over HTTP follow identical disk→node assignment,
+// so simulated what-ifs (fewer nodes, thinner links) are directly
+// comparable to measured BENCH_cluster numbers.
 package cluster
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disksim"
+	"repro/internal/placement"
 )
 
 // Config describes the cluster fabric.
@@ -55,14 +64,20 @@ func (c Config) Validate() error {
 	return c.Disk.Validate()
 }
 
-// Cluster simulates one scheme deployed across n single-disk storage nodes.
+// Cluster simulates one scheme deployed across storage nodes. Without a
+// placement each disk is its own node (the paper's idealised spread); with
+// one, disks co-located by placement.Map share their node's drive queue and
+// egress link.
 type Cluster struct {
 	scheme *core.Scheme
 	cfg    Config
 	array  *disksim.Array
+	// nodeOf[d] is the placement node serving disk d; nil when every disk
+	// is its own node.
+	nodeOf []int
 }
 
-// New builds a cluster for the scheme.
+// New builds a cluster for the scheme with one disk per node.
 func New(scheme *core.Scheme, cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -72,6 +87,33 @@ func New(scheme *core.Scheme, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	return &Cluster{scheme: scheme, cfg: cfg, array: array}, nil
+}
+
+// NewPlaced builds a cluster deploying one placement group of pm — the same
+// disk→node rotation the real gateway routes with. Disks sharing a node are
+// serialised on that node's drive and share its egress link, so losing a
+// node (or shrinking the fleet) prices exactly the contention the networked
+// cluster would see.
+func NewPlaced(scheme *core.Scheme, cfg Config, pm *placement.Map, group int) (*Cluster, error) {
+	c, err := New(scheme, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pm == nil {
+		return nil, fmt.Errorf("cluster: nil placement")
+	}
+	if pm.Disks < scheme.N() {
+		return nil, fmt.Errorf("cluster: placement has %d disks per group, scheme needs %d", pm.Disks, scheme.N())
+	}
+	if group < 0 || group >= pm.Groups {
+		return nil, fmt.Errorf("cluster: group %d outside placement's %d groups", group, pm.Groups)
+	}
+	nodeOf := make([]int, scheme.N())
+	for d := range nodeOf {
+		nodeOf[d] = pm.Node(group, d)
+	}
+	c.nodeOf = nodeOf
+	return c, nil
 }
 
 // Result is one simulated request outcome.
@@ -102,17 +144,28 @@ func (c *Cluster) Read(start, count, elemBytes int, failed []int) (Result, error
 	return c.serve(plan, elemBytes), nil
 }
 
-// serve prices a plan on the fabric.
+// serve prices a plan on the fabric. Disks placed on the same node queue
+// behind one drive and share one egress link: the node's service time is the
+// sum of its disks' times plus one transfer of the node's total bytes.
 func (c *Cluster) serve(plan *core.Plan, elemBytes int) Result {
 	var nodeWorst time.Duration
 	total := 0
+	nodeTime := map[int]time.Duration{}
+	nodeBytes := map[int]int{}
 	for d, load := range plan.Loads {
 		if load == 0 {
 			continue
 		}
 		total += load
-		t := c.array.DiskTime(d, load, elemBytes) +
-			transferTime(load*elemBytes, c.cfg.NodeLinkMBps)
+		node := d
+		if c.nodeOf != nil {
+			node = c.nodeOf[d]
+		}
+		nodeTime[node] += c.array.DiskTime(d, load, elemBytes)
+		nodeBytes[node] += load * elemBytes
+	}
+	for node, t := range nodeTime {
+		t += transferTime(nodeBytes[node], c.cfg.NodeLinkMBps)
 		if t > nodeWorst {
 			nodeWorst = t
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/disksim"
 	"repro/internal/layout"
 	"repro/internal/lrc"
+	"repro/internal/placement"
 	"repro/internal/workload"
 )
 
@@ -178,6 +179,135 @@ func TestGainErodesAsClientLinkShrinks(t *testing.T) {
 	}
 	if thin > 0.02 {
 		t.Fatalf("thin-link gain %.3f should be near zero", thin)
+	}
+}
+
+func TestPlacedOneDiskPerNodeMatchesIdeal(t *testing.T) {
+	// With as many nodes as disks the placement is a pure rotation: every
+	// node serves exactly one disk, so pricing must be identical to the
+	// idealised one-disk-per-node cluster, for every group.
+	cfg := noJitterCfg()
+	scheme := testScheme(t, layout.FormECFRM)
+	ideal, err := New(scheme, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]string, scheme.N())
+	for i := range nodes {
+		nodes[i] = "n"
+	}
+	pm, err := placement.New(4, scheme.N(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for grp := 0; grp < pm.Groups; grp++ {
+		placed, err := NewPlaced(scheme, cfg, pm, grp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, trial := range []struct{ start, count int }{{0, 8}, {3, 1}, {0, 12}} {
+			ri, err := ideal.Read(trial.start, trial.count, 1<<20, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := placed.Read(trial.start, trial.count, 1<<20, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ri != rp {
+				t.Fatalf("group %d read %d+%d: placed %+v != ideal %+v", grp, trial.start, trial.count, rp, ri)
+			}
+		}
+	}
+}
+
+func TestPlacedFewerNodesSlower(t *testing.T) {
+	// Shrinking the fleet piles disks onto shared drives and links: the same
+	// read must take at least as long on 4 nodes as on 12, and strictly
+	// longer than the idealised spread for a full-stripe read.
+	cfg := noJitterCfg()
+	scheme := testScheme(t, layout.FormECFRM)
+	ideal, _ := New(scheme, cfg)
+	read := func(c *Cluster) time.Duration {
+		r, err := c.Read(0, 12, 1<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Time
+	}
+	times := map[int]time.Duration{}
+	for _, w := range []int{4, 6, 12} {
+		pm, err := placement.New(1, scheme.N(), make([]string, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed, err := NewPlaced(scheme, cfg, pm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[w] = read(placed)
+	}
+	if !(times[4] >= times[6] && times[6] >= times[12]) {
+		t.Fatalf("service time not monotone in fleet size: %v", times)
+	}
+	if times[4] <= read(ideal) {
+		t.Fatalf("4-node placement %v not slower than idealised spread %v", times[4], read(ideal))
+	}
+}
+
+func TestPlacedNodeDownEqualsDiskSet(t *testing.T) {
+	// Killing a whole node is exactly failing that node's disk set — the
+	// identity the gateway chaos tests rely on. Price a degraded read with
+	// the node's disks failed and check it moves more bytes than normal.
+	cfg := noJitterCfg()
+	scheme := testScheme(t, layout.FormECFRM)
+	pm, err := placement.New(1, scheme.N(), make([]string, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.CheckTolerance(scheme.FaultTolerance()); err != nil {
+		t.Fatal(err)
+	}
+	placed, err := NewPlaced(scheme, cfg, pm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := pm.DisksOn(0, 2)
+	if len(down) == 0 || len(down) > scheme.FaultTolerance() {
+		t.Fatalf("node 2 serves %d disks, want 1..%d", len(down), scheme.FaultTolerance())
+	}
+	degraded, err := placed.Read(0, 12, 1<<20, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scheme.PlanDegradedRead(0, 12, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.NetworkBytes != plan.TotalReads()<<20 {
+		t.Fatalf("node-down read moved %d bytes, planner says %d",
+			degraded.NetworkBytes, plan.TotalReads()<<20)
+	}
+	for _, d := range down {
+		if plan.Loads[d] != 0 {
+			t.Fatalf("plan reads disk %d on the downed node", d)
+		}
+	}
+}
+
+func TestNewPlacedValidation(t *testing.T) {
+	cfg := noJitterCfg()
+	scheme := testScheme(t, layout.FormECFRM)
+	if _, err := NewPlaced(scheme, cfg, nil, 0); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+	small, _ := placement.New(2, scheme.N()-1, make([]string, 3))
+	if _, err := NewPlaced(scheme, cfg, small, 0); err == nil {
+		t.Fatal("undersized placement accepted")
+	}
+	pm, _ := placement.New(2, scheme.N(), make([]string, 4))
+	if _, err := NewPlaced(scheme, cfg, pm, 2); err == nil {
+		t.Fatal("out-of-range group accepted")
 	}
 }
 

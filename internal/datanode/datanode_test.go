@@ -1,0 +1,190 @@
+package datanode
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/nodeapi"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func do(t *testing.T, s *Server, method, target string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, r)
+	return rec
+}
+
+func frame(elem int, cells ...[]byte) []byte {
+	var data []byte
+	var crcs []uint32
+	for _, c := range cells {
+		data = append(data, c...)
+		crcs = append(crcs, crc32.Checksum(c, castagnoli))
+	}
+	return nodeapi.EncodeRun(elem, data, crcs)
+}
+
+// TestNodeCellRoundTrip drives the wire protocol end to end: write a run,
+// read it back (whole and sub-ranges), sync, meta, status, truncate, and the
+// missing-cell marker.
+func TestNodeCellRoundTrip(t *testing.T) {
+	for _, backend := range []string{"mem", "file"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := Config{ElemSize: 64, Registry: obs.NewRegistry()}
+			if backend == "file" {
+				cfg.Dir = t.TempDir()
+				cfg.File = store.FileConfig{Fsync: store.FsyncNever}
+			}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			cells := [][]byte{
+				bytes.Repeat([]byte{0xaa}, 64),
+				bytes.Repeat([]byte{0xbb}, 64),
+				bytes.Repeat([]byte{0xcc}, 64),
+			}
+			if rec := do(t, s, http.MethodPut, "/cells/2/1?slot=4", frame(64, cells...)); rec.Code != http.StatusNoContent {
+				t.Fatalf("write run: %d %s", rec.Code, rec.Body.String())
+			}
+			rec := do(t, s, http.MethodGet, "/cells/2/1?slot=4&count=3", nil)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("read run: %d %s", rec.Code, rec.Body.String())
+			}
+			data, crcs, err := nodeapi.DecodeRun(rec.Body.Bytes(), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(crcs) != 3 || !bytes.Equal(data, bytes.Join(cells, nil)) {
+				t.Fatal("read run returned wrong cells")
+			}
+			// Checksums came back verbatim.
+			for i, c := range cells {
+				if crcs[i] != crc32.Checksum(c, castagnoli) {
+					t.Fatalf("cell %d crc mismatch", i)
+				}
+			}
+
+			// A slot never stored → 404 with the missing marker.
+			rec = do(t, s, http.MethodGet, "/cells/2/1?slot=100&count=1", nil)
+			if rec.Code != http.StatusNotFound || rec.Header().Get(nodeapi.MissingHeader) == "" {
+				t.Fatalf("missing cell: %d, header %q", rec.Code, rec.Header().Get(nodeapi.MissingHeader))
+			}
+			// An extent never written → same marker.
+			rec = do(t, s, http.MethodGet, "/cells/9/0?slot=0&count=1", nil)
+			if rec.Code != http.StatusNotFound || rec.Header().Get(nodeapi.MissingHeader) == "" {
+				t.Fatalf("missing extent: %d", rec.Code)
+			}
+
+			if rec := do(t, s, http.MethodPost, "/sync/2/1", nil); rec.Code != http.StatusNoContent {
+				t.Fatalf("sync: %d", rec.Code)
+			}
+
+			rec = do(t, s, http.MethodGet, "/cells/2/1/meta", nil)
+			var meta nodeapi.DiskMeta
+			if err := json.Unmarshal(rec.Body.Bytes(), &meta); err != nil {
+				t.Fatal(err)
+			}
+			if meta.Slots != 7 || meta.Elements != 3 {
+				t.Fatalf("meta = %+v, want slots 7 elements 3", meta)
+			}
+
+			var st nodeapi.NodeStatus
+			rec = do(t, s, http.MethodGet, nodeapi.StatusPath, nil)
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Backend != backend || len(st.Disks) != 1 {
+				t.Fatalf("status = %+v", st)
+			}
+
+			if rec := do(t, s, http.MethodPost, "/truncate/2/1?slots=5", nil); rec.Code != http.StatusNoContent {
+				t.Fatalf("truncate: %d", rec.Code)
+			}
+			rec = do(t, s, http.MethodGet, "/cells/2/1?slot=6&count=1", nil)
+			if rec.Code != http.StatusNotFound {
+				t.Fatalf("read past truncation: %d", rec.Code)
+			}
+			rec = do(t, s, http.MethodGet, "/cells/2/1?slot=4&count=1", nil)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("read below truncation: %d", rec.Code)
+			}
+		})
+	}
+}
+
+// TestNodeRestartRediscovers proves a file-backed node reopened on the same
+// directory serves its sealed cells again.
+func TestNodeRestartRediscovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{ElemSize: 32, Dir: dir, File: store.FileConfig{Fsync: store.FsyncNever}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := bytes.Repeat([]byte{0x5a}, 32)
+	if rec := do(t, s, http.MethodPut, "/cells/0/3?slot=0", frame(32, cell)); rec.Code != http.StatusNoContent {
+		t.Fatalf("write: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/sync/0/3", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("sync: %d", rec.Code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := do(t, s2, http.MethodGet, "/cells/0/3?slot=0&count=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read after restart: %d %s", rec.Code, rec.Body.String())
+	}
+	data, _, err := nodeapi.DecodeRun(rec.Body.Bytes(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, cell) {
+		t.Fatal("restarted node returned wrong bytes")
+	}
+}
+
+// TestNodeHealthEndpoints covers the liveness/readiness pair.
+func TestNodeHealthEndpoints(t *testing.T) {
+	s, err := New(Config{ElemSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if rec := do(t, s, http.MethodGet, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodGet, "/readyz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("readyz: %d", rec.Code)
+	}
+	s.SetDraining(true)
+	if rec := do(t, s, http.MethodGet, "/readyz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz draining: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodGet, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthz draining: %d", rec.Code)
+	}
+}

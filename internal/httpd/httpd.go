@@ -124,6 +124,11 @@ type Server struct {
 	// cacheBytes tracks the total decoded payload bytes currently cached.
 	cacheBytes atomic.Int64
 
+	// draining flips when Close starts shutting the write path down:
+	// /healthz keeps answering (the process lives) but /readyz fails, so
+	// probers and gateways stop routing new work here.
+	draining atomic.Bool
+
 	// Observability (see internal/obs): the registry backing GET /metrics,
 	// cache hit/miss counters, and per-op request latency histograms.
 	reg         *obs.Registry
@@ -205,6 +210,8 @@ func NewServerWith(st *store.Store, cfg Config) *Server {
 	mux.HandleFunc("/admin/checksums", s.handleChecksums)
 	mux.HandleFunc("/admin/corrupt", s.handleCorrupt)
 	mux.HandleFunc("/faults", s.handleFaults)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.Handle("/metrics", s.reg.Handler())
 	if cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -226,9 +233,39 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) WAL() *store.WAL { return s.wal }
 
 // Close drains and shuts down the write path: queued PUTs are committed,
-// then further PUTs fail with 503. Call after the HTTP listener stops
-// accepting requests.
-func (s *Server) Close() error { return s.wal.Close() }
+// then further PUTs fail with 503. /readyz starts failing immediately so
+// load balancers and smoke scripts see the drain. Call after the HTTP
+// listener stops accepting requests.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	return s.wal.Close()
+}
+
+// handleHealthz is the liveness probe: 200 whenever the process serves HTTP,
+// draining or not.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: 200 while the server accepts new
+// work, 503 once Close has started draining it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

@@ -1,0 +1,118 @@
+// Package nodeapi defines the wire protocol between the access gateway and
+// the data nodes: URL shapes, the binary cell-run framing, and the JSON
+// status types. Both internal/datanode (server) and internal/gateway
+// (client) import it, so the two sides cannot drift.
+//
+// Cell payloads travel in a fixed little-endian binary frame rather than
+// JSON — a run is raw device bytes plus checksums, and base64ing megabytes
+// of cells through a JSON encoder would dominate the read path:
+//
+//	offset  size          field
+//	0       4             magic "ECRN"
+//	4       4             element size (uint32 LE)
+//	8       4             cell count   (uint32 LE)
+//	12      4*count       per-cell CRC32-C (uint32 LE each)
+//	12+4c   elem*count    cell payloads, concatenated in slot order
+//
+// Checksums ride beside the data end to end: the node stores them verbatim
+// and the gateway verifies them, so a torn write on a node disk or a flipped
+// bit on the wire both surface as ErrCorrupt at the store layer, never as
+// silently wrong object bytes.
+package nodeapi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Magic starts every cell-run frame.
+const Magic = "ECRN"
+
+// runHeaderLen is the fixed prefix before the CRC array.
+const runHeaderLen = 12
+
+// MissingHeader marks a 404 that means "slot never stored" — as opposed to
+// a 404 from a wrong URL — so the client can map it to store.ErrCellMissing
+// (reconstruct from the group) instead of ErrUnavailable (replan around the
+// node).
+const MissingHeader = "X-Ecfrm-Missing"
+
+// EncodeRun frames count cells (flattened into data, count == len(crcs))
+// with their checksums.
+func EncodeRun(elem int, data []byte, crcs []uint32) []byte {
+	out := make([]byte, runHeaderLen+4*len(crcs)+len(data))
+	copy(out, Magic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(elem))
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(crcs)))
+	for i, c := range crcs {
+		binary.LittleEndian.PutUint32(out[runHeaderLen+4*i:], c)
+	}
+	copy(out[runHeaderLen+4*len(crcs):], data)
+	return out
+}
+
+// DecodeRun parses a cell-run frame, validating the framing invariants
+// (magic, element size agreement, exact length).
+func DecodeRun(body []byte, wantElem int) (data []byte, crcs []uint32, err error) {
+	if len(body) < runHeaderLen || string(body[:4]) != Magic {
+		return nil, nil, fmt.Errorf("nodeapi: bad cell-run frame (%d bytes)", len(body))
+	}
+	elem := int(binary.LittleEndian.Uint32(body[4:]))
+	count := int(binary.LittleEndian.Uint32(body[8:]))
+	if elem != wantElem {
+		return nil, nil, fmt.Errorf("nodeapi: element size %d, want %d", elem, wantElem)
+	}
+	if count < 1 || count > (1<<22) {
+		return nil, nil, fmt.Errorf("nodeapi: cell count %d out of range", count)
+	}
+	want := runHeaderLen + 4*count + elem*count
+	if len(body) != want {
+		return nil, nil, fmt.Errorf("nodeapi: frame is %d bytes, want %d for %d cells of %d",
+			len(body), want, count, elem)
+	}
+	crcs = make([]uint32, count)
+	for i := range crcs {
+		crcs[i] = binary.LittleEndian.Uint32(body[runHeaderLen+4*i:])
+	}
+	return body[runHeaderLen+4*count:], crcs, nil
+}
+
+// CellsPath is the cell-run endpoint for one (group, disk) extent:
+// GET ?slot=&count= reads a run, PUT ?slot= writes the framed body.
+func CellsPath(group, disk int) string {
+	return fmt.Sprintf("/cells/%d/%d", group, disk)
+}
+
+// SyncPath is the durability barrier endpoint (POST).
+func SyncPath(group, disk int) string {
+	return fmt.Sprintf("/sync/%d/%d", group, disk)
+}
+
+// TruncatePath is the truncation endpoint (POST ?slots=).
+func TruncatePath(group, disk int) string {
+	return fmt.Sprintf("/truncate/%d/%d", group, disk)
+}
+
+// MetaPath is the per-extent geometry endpoint (GET → DiskMeta).
+func MetaPath(group, disk int) string {
+	return fmt.Sprintf("/cells/%d/%d/meta", group, disk)
+}
+
+// StatusPath is the whole-node status endpoint (GET → NodeStatus).
+const StatusPath = "/node/status"
+
+// DiskMeta is one extent's geometry.
+type DiskMeta struct {
+	Group    int `json:"group"`
+	Disk     int `json:"disk"`
+	Slots    int `json:"slots"`    // exclusive upper bound of occupied slots
+	Elements int `json:"elements"` // slots actually holding a cell
+}
+
+// NodeStatus is the node's self-description.
+type NodeStatus struct {
+	Backend  string     `json:"backend"` // "mem" or "file"
+	ElemSize int        `json:"elem_size"`
+	Draining bool       `json:"draining"`
+	Disks    []DiskMeta `json:"disks"`
+}

@@ -23,22 +23,25 @@ type famSnapshot struct {
 	series     []*series
 }
 
-// WriteText renders every registered metric to w.
+// WriteText renders every registered metric to w. Every view of a registry
+// renders the same full output — base labels scope series creation, not
+// scrapes — so one /metrics handler serves all components.
 func (r *Registry) WriteText(w io.Writer) error {
 	// Snapshot family and series lists under the lock, then render without
 	// it: instrument reads are atomic, and scrapes must not stall the hot
 	// path.
-	r.mu.Lock()
-	fams := make([]famSnapshot, 0, len(r.order))
-	for _, name := range r.order {
-		f := r.families[name]
+	c := r.core
+	c.mu.Lock()
+	fams := make([]famSnapshot, 0, len(c.order))
+	for _, name := range c.order {
+		f := c.families[name]
 		snap := famSnapshot{name: f.name, help: f.help, kind: f.kind}
 		for _, sig := range f.order {
 			snap.series = append(snap.series, f.series[sig])
 		}
 		fams = append(fams, snap)
 	}
-	r.mu.Unlock()
+	c.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {

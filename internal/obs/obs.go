@@ -256,7 +256,20 @@ type family struct {
 // All methods are safe for concurrent use. Get-or-create is idempotent:
 // asking for an existing (name, labels) pair returns the same instrument, so
 // instrumented layers can be wired independently and still share series.
+//
+// A Registry is a *view* onto a shared family store: With derives a view
+// that stamps extra base labels onto every instrument it creates, so two
+// components instantiated in one process (a gateway plus an embedded data
+// node, or one store per placement group) can reuse identical metric names
+// without colliding on series — same name, disjoint label sets. All views
+// of one registry render into the same /metrics scrape.
 type Registry struct {
+	core *registryCore
+	base []Label // labels this view prepends to every instrument
+}
+
+// registryCore is the family store every view of a registry shares.
+type registryCore struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string // family names in registration order
@@ -264,18 +277,37 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{core: &registryCore{families: make(map[string]*family)}}
+}
+
+// With returns a view of the same registry whose instruments all carry the
+// given labels in addition to (and before) their call-site labels. Views are
+// cheap, immutable, and compose: reg.With(L("component","gateway")).With(
+// L("group","3")) stamps both. Series created through different views with
+// distinct base labels never collide, even for identical metric names.
+func (r *Registry) With(labels ...Label) *Registry {
+	base := make([]Label, 0, len(r.base)+len(labels))
+	base = append(base, r.base...)
+	base = append(base, labels...)
+	return &Registry{core: r.core, base: base}
 }
 
 // lookup returns (creating if needed) the family and the series for labels.
 func (r *Registry) lookup(name, help string, k kind, bounds []float64, labels []Label) *series {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f, ok := r.families[name]
+	if len(r.base) > 0 {
+		all := make([]Label, 0, len(r.base)+len(labels))
+		all = append(all, r.base...)
+		all = append(all, labels...)
+		labels = all
+	}
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: k, bounds: bounds, series: make(map[string]*series)}
-		r.families[name] = f
-		r.order = append(r.order, name)
+		c.families[name] = f
+		c.order = append(c.order, name)
 	} else if f.kind != k {
 		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, k, f.kind))
 	}

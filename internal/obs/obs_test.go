@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -174,3 +176,46 @@ func TestRegistryConcurrency(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestWithNamespacing(t *testing.T) {
+	reg := NewRegistry()
+	gw := reg.With(L("component", "gateway"))
+	node := reg.With(L("component", "node"))
+
+	// Identical metric name + call-site labels through two views must be
+	// distinct series — this is exactly the gateway + embedded-node-in-one-
+	// test-binary collision With exists to prevent.
+	a := gw.Counter("ecfrm_requests_total", "h", L("op", "get"))
+	b := node.Counter("ecfrm_requests_total", "h", L("op", "get"))
+	if a == b {
+		t.Fatal("views with distinct base labels returned the same series")
+	}
+	a.Add(3)
+	b.Add(5)
+	if a.Value() != 3 || b.Value() != 5 {
+		t.Fatalf("series values cross-contaminated: %d, %d", a.Value(), b.Value())
+	}
+
+	// Same view + same labels stays idempotent.
+	if gw.Counter("ecfrm_requests_total", "h", L("op", "get")) != a {
+		t.Fatal("lookup through the same view was not idempotent")
+	}
+	// Chained With composes base labels.
+	g3 := gw.With(L("group", "3")).Gauge("ecfrm_depth", "h")
+	g3.Set(7)
+
+	var buf bytes.Buffer
+	if err := node.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ecfrm_requests_total{component="gateway",op="get"} 3`,
+		`ecfrm_requests_total{component="node",op="get"} 5`,
+		`ecfrm_depth{component="gateway",group="3"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

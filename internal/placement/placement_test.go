@@ -1,0 +1,79 @@
+package placement
+
+import "testing"
+
+func TestNodeRotationCoversAndBounds(t *testing.T) {
+	m, err := New(8, 6, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaxDisksPerNode(); got != 2 {
+		t.Fatalf("MaxDisksPerNode = %d, want 2", got)
+	}
+	if err := m.CheckTolerance(2); err != nil {
+		t.Fatalf("tolerance 2 should pass: %v", err)
+	}
+	if err := m.CheckTolerance(1); err == nil {
+		t.Fatal("tolerance 1 should fail with 2 disks per node")
+	}
+	for g := 0; g < m.Groups; g++ {
+		perNode := make(map[int]int)
+		nodeOf := m.NodeOf(g)
+		for d := 0; d < m.Disks; d++ {
+			n := m.Node(g, d)
+			if n != nodeOf[d] {
+				t.Fatalf("NodeOf disagrees with Node at (%d,%d)", g, d)
+			}
+			perNode[n]++
+		}
+		for n, c := range perNode {
+			if c > m.MaxDisksPerNode() {
+				t.Fatalf("group %d node %d serves %d disks > bound %d", g, n, c, m.MaxDisksPerNode())
+			}
+		}
+		// DisksOn partitions the disk set.
+		seen := 0
+		for n := range m.Nodes {
+			for _, d := range m.DisksOn(g, n) {
+				if m.Node(g, d) != n {
+					t.Fatalf("DisksOn(%d,%d) returned disk %d owned by node %d", g, n, d, m.Node(g, d))
+				}
+				seen++
+			}
+		}
+		if seen != m.Disks {
+			t.Fatalf("group %d: DisksOn covered %d disks, want %d", g, seen, m.Disks)
+		}
+	}
+}
+
+func TestGroupOfStableAndSpread(t *testing.T) {
+	m, err := New(16, 6, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make(map[int]int)
+	for i := 0; i < 4096; i++ {
+		name := "obj-" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + "-" + string(rune('A'+i%7))
+		g := m.GroupOf(name)
+		if g < 0 || g >= m.Groups {
+			t.Fatalf("GroupOf out of range: %d", g)
+		}
+		if g2 := m.GroupOf(name); g2 != g {
+			t.Fatalf("GroupOf unstable for %q: %d then %d", name, g, g2)
+		}
+		hit[g]++
+	}
+	if len(hit) < m.Groups/2 {
+		t.Fatalf("hash hit only %d of %d groups", len(hit), m.Groups)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	for _, c := range []struct{ g, d, w int }{{0, 6, 3}, {4, 0, 3}, {4, 6, 0}} {
+		nodes := make([]string, c.w)
+		if _, err := New(c.g, c.d, nodes); err == nil {
+			t.Fatalf("New(%d,%d,%d nodes) should fail", c.g, c.d, c.w)
+		}
+	}
+}

@@ -769,10 +769,13 @@ func syncDir(dir string) error {
 	return err
 }
 
-// Backend names the device backend in use: "mem" or "file".
+// Backend names the device backend in use: "mem", "file", or "remote".
 func (s *Store) Backend() string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.remote {
+		return "remote"
+	}
 	if s.dataDir != "" {
 		return "file"
 	}
@@ -834,6 +837,11 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if s.dataDir == "" {
+		// Remote-backed stores own no manifest and fsync through the commit
+		// barrier, but their backends hold connections that must be released.
+		if s.remote {
+			return s.closeBackends()
+		}
 		return nil
 	}
 	err := s.writeBackendManifest()

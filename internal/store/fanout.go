@@ -262,6 +262,9 @@ type devQueue struct {
 // inflightBias snapshots live per-device in-flight run counts for the
 // load-aware planner. It returns nil when every device is idle, so
 // single-threaded callers always get the unbiased (deterministic) planner.
+// When SetDeviceNodes has mapped devices onto placement nodes, counts are
+// aggregated per node: in the networked regime queueing happens at the node,
+// so every disk a busy node serves inherits its whole depth.
 func (s *Store) inflightBias() []int {
 	var bias []int
 	for i, d := range s.devices {
@@ -270,6 +273,15 @@ func (s *Store) inflightBias() []int {
 				bias = make([]int, len(s.devices))
 			}
 			bias[i] = v
+		}
+	}
+	if bias != nil && s.nodeOf != nil {
+		nodeSum := make(map[int]int)
+		for i, v := range bias {
+			nodeSum[s.nodeOf[i]] += v
+		}
+		for i := range bias {
+			bias[i] = nodeSum[s.nodeOf[i]]
 		}
 	}
 	return bias

@@ -295,6 +295,14 @@ type Store struct {
 	newBackendFn func(d int) (devBackend, error)
 	closed       bool
 
+	// remote marks a store whose devices delegate to CellBackends (see
+	// remote.go): Backend() reports it, Close() closes the backends even
+	// though there is no data directory. nodeOf, when set, maps each device
+	// to its placement node so inflightBias aggregates per node (guarded by
+	// mu like readOpts).
+	remote bool
+	nodeOf []int
+
 	// Migration staging hooks (file backends; nil means in-memory staging):
 	// newStagingBackendFn opens device d's dev_NN.{data,crc}.new staging
 	// pair, promoteStagingFn renames it over the live pair, and

@@ -55,7 +55,7 @@ fetch() { # fetch <url-path> [curl args...] — prints the body
 
 wait_up() {
     i=0
-    until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/metrics" 2>/dev/null; do
+    until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/readyz" 2>/dev/null; do
         i=$((i + 1))
         if [ "$i" -ge 50 ]; then
             echo "disk-smoke: daemon never came up" >&2

@@ -58,9 +58,10 @@ echo "fanout-smoke: starting on :$PORT (hedged fan-out, slow device 0)"
     -faults "$TMP/plan.json" >"$LOG" 2>&1 &
 PID=$!
 
-# Wait for the listener (up to ~5s).
+# Wait for readiness (up to ~5s): /readyz answers 200 only once the daemon
+# can actually serve, and 503 again while draining.
 i=0
-until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/metrics" 2>/dev/null; do
+until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/readyz" 2>/dev/null; do
     i=$((i + 1))
     if [ "$i" -ge 50 ]; then
         echo "fanout-smoke: daemon never came up" >&2

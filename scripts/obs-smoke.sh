@@ -42,9 +42,10 @@ echo "obs-smoke: starting on :$PORT"
 "$BIN" -addr "127.0.0.1:$PORT" -obs -obs-interval 1s >"$LOG" 2>&1 &
 PID=$!
 
-# Wait for the listener (up to ~5s).
+# Wait for readiness (up to ~5s): /readyz answers 200 only once the daemon
+# can actually serve, and 503 again while draining.
 i=0
-until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/metrics" 2>/dev/null; do
+until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/readyz" 2>/dev/null; do
     i=$((i + 1))
     if [ "$i" -ge 50 ]; then
         echo "obs-smoke: daemon never came up" >&2
@@ -52,6 +53,10 @@ until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/metrics" 2>/dev/null; do
     fi
     sleep 0.1
 done
+
+# Liveness and readiness answer separately.
+fetch /healthz -o /dev/null
+fetch /readyz -o /dev/null
 
 # Push one object through the full path: PUT, cold GET, warm GET, HEAD.
 head -c 200000 /dev/urandom >"$TMP/payload.bin"

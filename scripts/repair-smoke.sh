@@ -57,7 +57,7 @@ metric() { # metric <name> — prints the sample value, 0 if absent
 
 wait_up() {
     i=0
-    until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/metrics" 2>/dev/null; do
+    until curl -fsS -o /dev/null "http://127.0.0.1:$PORT/readyz" 2>/dev/null; do
         i=$((i + 1))
         if [ "$i" -ge 50 ]; then
             echo "repair-smoke: daemon never came up" >&2
