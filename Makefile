@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json readpath-smoke readpath-json fanout-json fuzz-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json disk-smoke disk-json repair-smoke repair-chaos repair-json cluster-smoke cluster-json
+.PHONY: all build test ci vet race race-io bench-smoke bench kernels-json kernels16-json widestripe readpath-smoke readpath-json fanout-json fuzz-smoke fuzz16-smoke chaos obs-smoke fanout-smoke writepath-smoke writepath-json disk-smoke disk-json repair-smoke repair-chaos repair-json cluster-smoke cluster-json
 
 all: build
 
@@ -38,6 +38,18 @@ bench:
 # Machine-readable kernel throughput report (BENCH_kernels.json).
 kernels-json:
 	$(GO) run ./cmd/ecfrmbench -kernels BENCH_kernels.json
+
+# Machine-readable GF(2^16) kernel throughput report (BENCH_kernels16.json).
+# The ISSUE's acceptance bar is a >=5x SIMD-over-reference speedup on the
+# multiply-accumulate path; the report carries the geometric mean.
+kernels16-json:
+	$(GO) run ./cmd/ecfrmbench -kernels16 BENCH_kernels16.json
+
+# The wide-stripe acceptance sweep: (k=64, m=4) RS/LRC/CRS over GF(2^16)
+# through the full store — seal, clean reads, max-tolerated-failure degraded
+# reads, and whole-disk repair, every read byte-verified.
+widestripe:
+	$(GO) run ./cmd/ecfrmbench -widestripe /tmp/ecfrm-widestripe.json
 
 # A small streaming-vs-buffered read-path run that catches pipeline
 # regressions without the full payload; the JSON goes to a throwaway path.
@@ -131,6 +143,10 @@ cluster-json:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/gf
 
+# A short fuzz run over the GF(2^16) split-table/reference equivalence target.
+fuzz16-smoke:
+	$(GO) test -run NONE -fuzz FuzzGF16Tables -fuzztime 10s ./internal/gf16
+
 # The seeded chaos suite under the race detector: the two fixed seeds plus a
 # time-derived one (echoed here and in the test log — rerun any failure with
 # CHAOS_SEED=<seed>). -count=2 re-runs everything to shake out order effects.
@@ -140,4 +156,4 @@ chaos:
 	CHAOS_SEED=$$seed $(GO) test -race -count=2 -run 'Chaos|FaultSequence|Replays|FaultStreams|StreamSourceFault|StreamSinkFault' \
 		./internal/faultinject/ ./internal/shardio/
 
-ci: vet race race-io bench-smoke readpath-smoke obs-smoke fanout-smoke writepath-smoke disk-smoke disk-json repair-smoke repair-chaos cluster-smoke cluster-json chaos
+ci: vet race race-io bench-smoke widestripe readpath-smoke obs-smoke fanout-smoke writepath-smoke disk-smoke disk-json repair-smoke repair-chaos cluster-smoke cluster-json chaos

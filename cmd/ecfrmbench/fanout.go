@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rs"
 	"repro/internal/store"
+	"repro/internal/workload"
 )
 
 const (
@@ -50,7 +52,8 @@ const (
 
 type fanoutResult struct {
 	Scenario    string  `json:"scenario"`
-	Executor    string  `json:"executor"` // "sequential" or "fanout"
+	Skew        string  `json:"skew,omitempty"` // request distribution, when not uniform
+	Executor    string  `json:"executor"`       // "sequential" or "fanout"
 	Concurrency int     `json:"concurrency,omitempty"`
 	Hedged      bool    `json:"hedged,omitempty"`
 	P50Ms       float64 `json:"p50_ms"`
@@ -109,6 +112,10 @@ type fanoutScenario struct {
 	form     layout.Form
 	policies []faultinject.Policy
 	failDisk int // disk to fail before reading, -1 for none
+	// skew, when non-nil, draws read offsets from the skewed workload
+	// generator instead of the rotating uniform pattern; a diurnal period in
+	// it additionally modulates per-rep burst concurrency.
+	skew *workload.SkewConfig
 }
 
 func fanoutScenarios() []fanoutScenario {
@@ -118,10 +125,17 @@ func fanoutScenarios() []fanoutScenario {
 		uniform = append(uniform, faultinject.Policy{Device: d, Latency: 2 * time.Millisecond})
 	}
 	return []fanoutScenario{
-		{"one-slow-disk/standard", layout.FormStandard, slow, -1},
-		{"one-slow-disk/ecfrm", layout.FormECFRM, slow, -1},
-		{"uniform-2ms/ecfrm", layout.FormECFRM, uniform, -1},
-		{"degraded-uniform-2ms/ecfrm", layout.FormECFRM, uniform, 0},
+		{"one-slow-disk/standard", layout.FormStandard, slow, -1, nil},
+		{"one-slow-disk/ecfrm", layout.FormECFRM, slow, -1, nil},
+		{"uniform-2ms/ecfrm", layout.FormECFRM, uniform, -1, nil},
+		{"degraded-uniform-2ms/ecfrm", layout.FormECFRM, uniform, 0, nil},
+		// Skewed traffic: the hot head concentrates requests on few stripes,
+		// so the slow device's queue collides with itself — the regime where
+		// hedging and cross-device parallelism earn their keep.
+		{"skew-zipf-diurnal/ecfrm", layout.FormECFRM, slow, -1,
+			&workload.SkewConfig{Kind: workload.SkewZipf, DiurnalPeriod: fanoutBenchReps}},
+		{"skew-hotspot/ecfrm", layout.FormECFRM, slow, -1,
+			&workload.SkewConfig{Kind: workload.SkewHotspot}},
 	}
 }
 
@@ -186,6 +200,63 @@ func runFanoutScenario(sc fanoutScenario, rep *fanoutReport) error {
 		return int64(((i * 8) % (payloadElems - fanoutReadElems)) * fanoutElemBytes)
 	}
 
+	// Skewed scenarios draw offsets from the workload generator instead of
+	// the rotating pattern; the diurnal intensity, when configured, widens
+	// each rep into a burst of concurrent reads (peak-hour traffic).
+	var skewGen *workload.SkewedGenerator
+	if sc.skew != nil {
+		skewGen = workload.MustSkewed(workload.Config{
+			TotalElements: payloadElems,
+			Disks:         scheme.N(),
+			MaxSize:       fanoutReadElems,
+			Seed:          11,
+		}, *sc.skew)
+	}
+	skewOff := func() int64 {
+		s := skewGen.Next().Start
+		if s > payloadElems-fanoutReadElems {
+			s = payloadElems - fanoutReadElems
+		}
+		return int64(s * fanoutElemBytes)
+	}
+	// runRep issues one rep's reads for a configuration and returns their
+	// latencies: a single read normally, a skew-driven burst when the
+	// scenario has a diurnal envelope.
+	runRep := func(opts store.ReadOptions, i int) ([]time.Duration, error) {
+		if skewGen == nil {
+			d, err := readOnce(opts, offAt(i))
+			if err != nil {
+				return nil, err
+			}
+			return []time.Duration{d}, nil
+		}
+		burst := 1
+		if sc.skew.DiurnalPeriod > 0 {
+			burst = 1 + int(skewGen.Intensity()*3+0.5)
+		}
+		offs := make([]int64, burst)
+		for j := range offs {
+			offs[j] = skewOff()
+		}
+		lats := make([]time.Duration, burst)
+		errs := make([]error, burst)
+		var wg sync.WaitGroup
+		for j, off := range offs {
+			wg.Add(1)
+			go func(j int, off int64) {
+				defer wg.Done()
+				lats[j], errs[j] = readOnce(opts, off)
+			}(j, off)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return lats, nil
+	}
+
 	// Warmup: populate buffer pools and the hedge latency ring before any
 	// configuration is timed.
 	for i := 0; i < 10; i++ {
@@ -199,11 +270,11 @@ func runFanoutScenario(sc fanoutScenario, rep *fanoutReport) error {
 		firedBefore, wonBefore := fired.Value(), won.Value()
 		lats := make([]time.Duration, 0, fanoutBenchReps)
 		for i := 0; i < fanoutBenchReps; i++ {
-			d, err := readOnce(cfg.opts, offAt(i))
+			ds, err := runRep(cfg.opts, i)
 			if err != nil {
 				return fmt.Errorf("scenario %s %s: %w", sc.name, cfg.name, err)
 			}
-			lats = append(lats, d)
+			lats = append(lats, ds...)
 		}
 		sort.Slice(lats, func(x, y int) bool { return lats[x] < lats[y] })
 		p50 := lats[len(lats)/2]
@@ -215,8 +286,13 @@ func runFanoutScenario(sc fanoutScenario, rep *fanoutReport) error {
 		if !cfg.opts.Sequential && p50 > 0 {
 			speedup = float64(seqP50) / float64(p50)
 		}
+		skewName := ""
+		if sc.skew != nil {
+			skewName = sc.skew.Kind.String()
+		}
 		r := fanoutResult{
 			Scenario:            sc.name,
+			Skew:                skewName,
 			Executor:            "fanout",
 			Concurrency:         cfg.opts.Concurrency,
 			Hedged:              cfg.opts.Hedge.Enabled,

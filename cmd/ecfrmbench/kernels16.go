@@ -1,0 +1,150 @@
+// GF(2^16) kernel microbenchmark mode: -kernels16 <path> measures the bulk
+// multiply-accumulate throughput of the wide-field kernels — SIMD split-table,
+// word-parallel, and byte-wise reference — across shard sizes and writes
+// BENCH_kernels16.json. The headline acceptance number is the SIMD/ref ratio
+// on MulAddSlice-shaped work: the ISSUE requires at least 5x.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/gf16"
+)
+
+// kernel16Sources matches the wide-stripe hot path: a k=64 encode combines 64
+// data shards per parity element. Larger than the GF(2^8) bench's 6 on
+// purpose — wide stripes are the whole reason the field exists.
+const kernel16Sources = 64
+
+type kernel16Result struct {
+	Kernel     string  `json:"kernel"` // "encode" or "reconstruct"
+	Path       string  `json:"path"`   // "fast" or "ref"
+	ShardBytes int     `json:"shard_bytes"`
+	Sources    int     `json:"sources"`
+	MBps       float64 `json:"mbps"`
+}
+
+type kernel16Report struct {
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	SIMD      bool             `json:"simd"`
+	Timestamp string           `json:"timestamp"`
+	Results   []kernel16Result `json:"results"`
+	// SpeedupMulAdd is the geometric-mean fast/ref throughput ratio across
+	// all cells — the single number CI can assert against.
+	SpeedupMulAdd float64 `json:"speedup_muladd"`
+}
+
+// measureDot16 is measureDot for 16-bit coefficients: MB/s of source bytes
+// pushed through one dot-product pass, best of three timed rounds.
+func measureDot16(k, size int, seed int64, dot func(dst []byte, coeffs []uint16, vecs [][]byte)) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([][]byte, k)
+	for i := range vecs {
+		vecs[i] = make([]byte, size)
+		rng.Read(vecs[i])
+	}
+	coeffs := make([]uint16, k)
+	for i := range coeffs {
+		coeffs[i] = uint16(2 + rng.Intn(int(gf16.Order)-2)) // skip the 0/1 fast paths
+	}
+	dst := make([]byte, size)
+
+	dot(dst, coeffs, vecs)
+	start := time.Now()
+	dot(dst, coeffs, vecs)
+	per := time.Since(start)
+	iters := int(40 * time.Millisecond / (per + 1))
+	if iters < 1 {
+		iters = 1
+	}
+	best := 0.0
+	for round := 0; round < 3; round++ {
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			dot(dst, coeffs, vecs)
+		}
+		elapsed := time.Since(start).Seconds()
+		mbps := float64(k*size*iters) / elapsed / 1e6
+		if mbps > best {
+			best = mbps
+		}
+	}
+	return best
+}
+
+// runKernel16Bench measures the wide-field multiply-accumulate for the fast
+// (dispatching) and reference paths and writes the JSON report to path.
+func runKernel16Bench(path string) error {
+	rep := kernel16Report{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		SIMD:      gf16.SIMDEnabled(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	paths := []struct {
+		name string
+		dot  func(dst []byte, coeffs []uint16, vecs [][]byte)
+	}{
+		{"fast", gf16.DotSlice},
+		{"ref", gf16.DotSliceRef},
+	}
+	fmt.Printf("GF(2^16) kernel throughput (MB/s of source bytes, %d sources, SIMD=%v)\n",
+		kernel16Sources, rep.SIMD)
+	fmt.Printf("%-12s %-6s %10s %12s\n", "kernel", "path", "shard", "MB/s")
+	logRatioSum, cells := 0.0, 0
+	for _, kind := range []struct {
+		name string
+		seed int64
+	}{{"encode", 11}, {"reconstruct", 23}} {
+		for _, size := range kernelShardSizes {
+			var fast, ref float64
+			for _, p := range paths {
+				mbps := measureDot16(kernel16Sources, size, kind.seed, p.dot)
+				if p.name == "fast" {
+					fast = mbps
+				} else {
+					ref = mbps
+				}
+				rep.Results = append(rep.Results, kernel16Result{
+					Kernel:     kind.name,
+					Path:       p.name,
+					ShardBytes: size,
+					Sources:    kernel16Sources,
+					MBps:       mbps,
+				})
+				fmt.Printf("%-12s %-6s %9dK %12.1f\n", kind.name, p.name, size>>10, mbps)
+			}
+			if fast > 0 && ref > 0 {
+				logRatioSum += math.Log(fast / ref)
+				cells++
+			}
+		}
+	}
+	if cells > 0 {
+		rep.SpeedupMulAdd = math.Exp(logRatioSum / float64(cells))
+	}
+	fmt.Printf("geometric-mean fast/ref speedup: %.1fx\n", rep.SpeedupMulAdd)
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

@@ -39,6 +39,8 @@ func main() {
 		network     = flag.Bool("network", false, "also print the client-bandwidth sensitivity sweep")
 		csvDir      = flag.String("csv", "", "also write each figure as <dir>/fig<ID>.csv for plotting")
 		kernels     = flag.String("kernels", "", "run the GF kernel microbenchmark and write JSON to this path (e.g. BENCH_kernels.json), then exit")
+		kernels16   = flag.String("kernels16", "", "run the GF(2^16) kernel microbenchmark and write JSON to this path (e.g. BENCH_kernels16.json), then exit")
+		widestripe  = flag.String("widestripe", "", "run the wide-stripe (k=64) end-to-end store sweep and write JSON to this path (e.g. BENCH_widestripe.json), then exit")
 		readpath    = flag.String("readpath", "", "run the streaming-vs-buffered shardio benchmark and write JSON to this path (e.g. BENCH_readpath.json), then exit")
 		readpathMB  = flag.Int64("readpath-bytes", 0, "readpath payload size in bytes (0 = 256 MiB)")
 		fanoutOut   = flag.String("fanout", "", "run the fan-out read executor benchmark and write JSON to this path (e.g. BENCH_fanout.json), then exit")
@@ -54,6 +56,20 @@ func main() {
 	if *kernels != "" {
 		if err := runKernelBench(*kernels); err != nil {
 			fmt.Fprintln(os.Stderr, "kernels:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kernels16 != "" {
+		if err := runKernel16Bench(*kernels16); err != nil {
+			fmt.Fprintln(os.Stderr, "kernels16:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *widestripe != "" {
+		if err := runWideStripeBench(*widestripe); err != nil {
+			fmt.Fprintln(os.Stderr, "widestripe:", err)
 			os.Exit(1)
 		}
 		return

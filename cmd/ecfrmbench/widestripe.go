@@ -1,0 +1,170 @@
+// Wide-stripe end-to-end benchmark mode: -widestripe <path> runs the ISSUE's
+// acceptance sweep — a (k=64, m=4) GF(2^16) stripe (plus LRC and CRS
+// variants) through the full store: seal (encode + write), clean reads,
+// degraded reads with the maximum tolerated disk failures, and whole-disk
+// repair — and writes BENCH_widestripe.json. Every read is byte-verified
+// against the original payload.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/codes"
+	"repro/internal/core"
+	"repro/internal/crs"
+	"repro/internal/layout"
+	"repro/internal/lrc"
+	"repro/internal/rs"
+	"repro/internal/store"
+)
+
+const (
+	// wideElemBytes is a multiple of every wide code's SymbolBytes (2 for
+	// the matrix codes, 16 for packet-layout CRS16).
+	wideElemBytes = 4 << 10
+	// wideStripes of payload per scheme keeps a cell under a second while
+	// still spanning several full stripes.
+	wideStripes = 6
+)
+
+type wideResult struct {
+	Scheme       string  `json:"scheme"`
+	N            int     `json:"n"`
+	K            int     `json:"k"`
+	PayloadMB    float64 `json:"payload_mb"`
+	SealMBps     float64 `json:"seal_mbps"`
+	ReadMBps     float64 `json:"read_mbps"`
+	FailedDisks  int     `json:"failed_disks"`
+	DegradedMBps float64 `json:"degraded_mbps"`
+	RepairMs     float64 `json:"repair_ms"`
+}
+
+type wideReport struct {
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	Timestamp string       `json:"timestamp"`
+	ElemBytes int          `json:"elem_bytes"`
+	Results   []wideResult `json:"results"`
+}
+
+// runWideCell drives one scheme through seal, read, degraded read, and
+// repair, returning the measured row.
+func runWideCell(code codes.Code) (wideResult, error) {
+	scheme, err := core.NewScheme(code, layout.FormECFRM)
+	if err != nil {
+		return wideResult{}, err
+	}
+	st, err := store.New(scheme, wideElemBytes)
+	if err != nil {
+		return wideResult{}, err
+	}
+	rng := rand.New(rand.NewSource(31))
+	payload := make([]byte, wideStripes*scheme.DataPerStripe()*wideElemBytes)
+	rng.Read(payload)
+	res := wideResult{
+		Scheme:    scheme.Name(),
+		N:         code.N(),
+		K:         code.K(),
+		PayloadMB: float64(len(payload)) / 1e6,
+	}
+
+	start := time.Now()
+	if err := st.Append(payload); err != nil {
+		return res, err
+	}
+	if err := st.Flush(); err != nil {
+		return res, err
+	}
+	res.SealMBps = res.PayloadMB / time.Since(start).Seconds()
+
+	readAll := func(opts store.ReadOptions) (float64, error) {
+		start := time.Now()
+		r, err := st.ReadAtCtx(context.Background(), 0, len(payload), opts)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(r.Data, payload) {
+			return 0, fmt.Errorf("%s: payload mismatch", scheme.Name())
+		}
+		return res.PayloadMB / elapsed, nil
+	}
+
+	if res.ReadMBps, err = readAll(store.ReadOptions{Concurrency: 8}); err != nil {
+		return res, err
+	}
+
+	// Fail as many distinct disks as the code tolerates, then read through
+	// the rebuild path.
+	for len(st.FailedDisks()) < scheme.FaultTolerance() {
+		st.FailDiskWithinTolerance(rng.Intn(scheme.N()))
+	}
+	res.FailedDisks = len(st.FailedDisks())
+	if res.DegradedMBps, err = readAll(store.ReadOptions{Concurrency: 8}); err != nil {
+		return res, err
+	}
+
+	start = time.Now()
+	for _, d := range st.FailedDisks() {
+		if _, err := st.RecoverDisk(d); err != nil {
+			return res, err
+		}
+	}
+	res.RepairMs = float64(time.Since(start)) / 1e6
+	if _, err := readAll(store.ReadOptions{}); err != nil {
+		return res, fmt.Errorf("post-repair verify: %w", err)
+	}
+	return res, nil
+}
+
+// runWideStripeBench sweeps the wide schemes and writes the JSON report.
+func runWideStripeBench(path string) error {
+	rep := wideReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.GOMAXPROCS(0),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		ElemBytes: wideElemBytes,
+	}
+	fmt.Printf("wide-stripe end-to-end sweep: %d KiB elements, %d stripes per scheme\n",
+		wideElemBytes>>10, wideStripes)
+	fmt.Printf("%-20s %4s %9s %9s %9s %5s %9s %9s\n",
+		"scheme", "n", "MB", "seal MB/s", "read MB/s", "fail", "degr MB/s", "repair ms")
+	for _, code := range []codes.Code{
+		rs.Must16(64, 4),
+		lrc.Must16(64, 8, 2),
+		crs.Must16(64, 4),
+	} {
+		r, err := runWideCell(code)
+		if err != nil {
+			return fmt.Errorf("%s: %w", code.Name(), err)
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-20s %4d %9.1f %9.1f %9.1f %5d %9.1f %9.1f\n",
+			r.Scheme, r.N, r.PayloadMB, r.SealMBps, r.ReadMBps, r.FailedDisks, r.DegradedMBps, r.RepairMs)
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

@@ -1,0 +1,426 @@
+// Base16 is the GF(2^16) twin of Base: the generator-matrix engine behind
+// wide-stripe codes, whose n = k+m can exceed the 256-element ceiling a
+// GF(2^8) Cauchy construction imposes. Elements are 16-bit symbols packed
+// little-endian in ordinary byte shards, so a Base16-backed code satisfies
+// the same Code interface and flows through the stores, the streaming
+// pipeline, and the fan-out executor unchanged — shard sizes just have to
+// be even.
+//
+// Two deliberate departures from Base:
+//
+//   - Fault tolerance is declared by the constructor, not recomputed by
+//     exhaustive erasure-pattern search: at wide parameters the search is
+//     combinatorial (C(132,4) ≈ 18M solves for a (128,4) code). Cauchy
+//     generators are provably MDS, so RS-style constructors declare n-k;
+//     constructions without a closed-form guarantee (LRC16) verify their
+//     declaration by sampling (see VerifyFaultTolerance).
+//
+//   - The decode cache keys patterns with [16]uint64 bitmask pairs,
+//     supporting n up to 1024 with stack-allocated comparable keys.
+package codes
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gf16"
+	"repro/internal/matrix"
+)
+
+// maskWords is the width of one erasure-pattern bitmask in the Base16
+// decode cache; it bounds supported n at 64·maskWords = 1024 elements.
+const maskWords = 16
+
+// MaxN16 is the widest code Base16 supports (decode-cache mask width).
+const MaxN16 = 64 * maskWords
+
+// Base16 implements the generator-matrix-driven parts of Code over
+// GF(2^16). Concrete wide codes embed it and supply Name and RecoverySets.
+type Base16 struct {
+	gen       *matrix.Matrix16 // n×k, first k rows identity
+	parityMat *matrix.Matrix16 // gen rows k..n, precomputed for encode
+	n         int
+	k         int
+	ft        int
+	// decodeCache memoizes SpanSolve16 coefficient matrices keyed by the
+	// (available, targets) bitmask pair, exactly like Base's cache but wide
+	// enough for n ≤ 1024. Guarded by a mutex rather than sync.Map so the
+	// [2·maskWords]uint64 key never boxes (allocates) on the hot path.
+	decodeMu    sync.RWMutex
+	decodeCache map[[2 * maskWords]uint64]*matrix.Matrix16
+}
+
+// NewBase16 wraps an n×k systematic generator matrix over GF(2^16) with a
+// declared fault tolerance (see the package comment for why it is declared
+// rather than searched). It panics if the generator is malformed or the
+// declaration exceeds n-k — the codes own their constructors, so a
+// violation is a programming error.
+func NewBase16(gen *matrix.Matrix16, declaredFT int) *Base16 {
+	n, k := gen.Rows(), gen.Cols()
+	if n < k || k < 1 {
+		panic(fmt.Sprintf("codes: invalid generator %d×%d", n, k))
+	}
+	if n > MaxN16 {
+		panic(fmt.Sprintf("codes: n=%d exceeds Base16 limit %d", n, MaxN16))
+	}
+	if !gen.SubMatrix(0, k, 0, k).IsIdentity() {
+		panic("codes: generator is not systematic")
+	}
+	if declaredFT < 0 || declaredFT > n-k {
+		panic(fmt.Sprintf("codes: declared fault tolerance %d out of [0,%d]", declaredFT, n-k))
+	}
+	return &Base16{
+		gen:         gen,
+		parityMat:   gen.SubMatrix(k, n, 0, k),
+		n:           n,
+		k:           k,
+		ft:          declaredFT,
+		decodeCache: make(map[[2 * maskWords]uint64]*matrix.Matrix16),
+	}
+}
+
+// N returns the total number of elements per row.
+func (b *Base16) N() int { return b.n }
+
+// K returns the number of data elements per row.
+func (b *Base16) K() int { return b.k }
+
+// FaultTolerance returns the declared guaranteed erasure tolerance.
+func (b *Base16) FaultTolerance() int { return b.ft }
+
+// Generator returns the generator matrix. Callers must not modify it.
+func (b *Base16) Generator() *matrix.Matrix16 { return b.gen }
+
+// SymbolBytes returns 2: elements are 16-bit symbols, so shard sizes must
+// be even.
+func (b *Base16) SymbolBytes() int { return gf16.SymbolBytes }
+
+// PositionalKernel reports true: the generator matrix applies
+// symbol-position by symbol-position, and since every whole-symbol
+// sub-range is encodable independently, byte sub-ranges used by chunking
+// remain valid as long as stripe element sizes stay even (which the even
+// shard-size contract guarantees at every layer).
+func (b *Base16) PositionalKernel() bool { return true }
+
+// solveCoefficients returns the SpanSolve16 coefficient matrix expressing
+// the target rows in terms of the available rows, memoized per pattern.
+func (b *Base16) solveCoefficients(avail, targets []int) (*matrix.Matrix16, error) {
+	var key [2 * maskWords]uint64
+	for _, a := range avail {
+		key[a>>6] |= 1 << uint(a&63)
+	}
+	for _, t := range targets {
+		key[maskWords+t>>6] |= 1 << uint(t&63)
+	}
+	b.decodeMu.RLock()
+	coeff, ok := b.decodeCache[key]
+	b.decodeMu.RUnlock()
+	if ok {
+		return coeff, nil
+	}
+	coeff, err := matrix.SpanSolve16(b.gen.SelectRows(avail), b.gen.SelectRows(targets))
+	if err != nil {
+		return nil, err
+	}
+	b.decodeMu.Lock()
+	b.decodeCache[key] = coeff
+	b.decodeMu.Unlock()
+	return coeff, nil
+}
+
+func (b *Base16) checkData(data [][]byte) (int, error) {
+	if len(data) != b.k {
+		return 0, fmt.Errorf("%w: got %d data shards, want %d", ErrShardSize, len(data), b.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			return 0, fmt.Errorf("%w: data shard %d is nil", ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(d)
+		} else if len(d) != size {
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(d), size)
+		}
+	}
+	if size%gf16.SymbolBytes != 0 {
+		return 0, fmt.Errorf("%w: shard size %d not a whole number of 16-bit symbols", ErrShardSize, size)
+	}
+	return size, nil
+}
+
+// Encode computes the parity shards for the given data shards.
+func (b *Base16) Encode(data [][]byte) ([][]byte, error) {
+	size, err := b.checkData(data)
+	if err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, b.n-b.k)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+	}
+	b.parityMat.MulVec(parity, data)
+	return parity, nil
+}
+
+// EncodeInto computes the parity shards into the caller-provided cells —
+// the zero-allocation encode path. parity must hold n-k buffers, each the
+// size of a data shard; contents are overwritten.
+func (b *Base16) EncodeInto(parity, data [][]byte) error {
+	size, err := b.checkData(data)
+	if err != nil {
+		return err
+	}
+	if len(parity) != b.n-b.k {
+		return fmt.Errorf("%w: got %d parity cells, want %d", ErrShardSize, len(parity), b.n-b.k)
+	}
+	for i, p := range parity {
+		if len(p) != size {
+			return fmt.Errorf("%w: parity cell %d has %d bytes, want %d", ErrShardSize, i, len(p), size)
+		}
+	}
+	b.parityMat.MulVec(parity, data)
+	return nil
+}
+
+// Reconstruct rebuilds nil shards in place. shards must have length n.
+func (b *Base16) Reconstruct(shards [][]byte) error {
+	return b.ReconstructInto(shards, heapAlloc{})
+}
+
+// ReconstructInto rebuilds nil shards in place, drawing the output buffers
+// from alloc — the zero-allocation decode path when alloc recycles memory.
+func (b *Base16) ReconstructInto(shards [][]byte, alloc Allocator) error {
+	if len(shards) != b.n {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), b.n)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			sc.targetIdx = append(sc.targetIdx, i)
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+		sc.availIdx = append(sc.availIdx, i)
+	}
+	erased := sc.targetIdx
+	if len(erased) == 0 {
+		return nil
+	}
+	if size == -1 {
+		return fmt.Errorf("%w: all shards erased", ErrShardSize)
+	}
+	if size%gf16.SymbolBytes != 0 {
+		return fmt.Errorf("%w: shard size %d not a whole number of 16-bit symbols", ErrShardSize, size)
+	}
+	coeff, err := b.solveCoefficients(sc.availIdx, erased)
+	if err != nil {
+		return fmt.Errorf("%w: erased %v", ErrUnrecoverable, erased)
+	}
+	for _, a := range sc.availIdx {
+		sc.availShards = append(sc.availShards, shards[a])
+	}
+	for range erased {
+		sc.out = append(sc.out, alloc.GetShard(size))
+	}
+	coeff.MulVec(sc.out, sc.availShards)
+	for i, e := range erased {
+		shards[e] = sc.out[i]
+	}
+	return nil
+}
+
+// ReconstructElements rebuilds only the listed target elements from the
+// non-nil shards, writing the results into shards — the degraded-read
+// decode, succeeding whenever the targets (not necessarily every erasure)
+// are in the survivors' span.
+func (b *Base16) ReconstructElements(shards [][]byte, targets []int) error {
+	return b.ReconstructElementsInto(shards, targets, heapAlloc{})
+}
+
+// ReconstructElementsInto is ReconstructElements drawing output buffers
+// from alloc — the zero-allocation degraded-read path.
+func (b *Base16) ReconstructElementsInto(shards [][]byte, targets []int, alloc Allocator) error {
+	if len(shards) != b.n {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardSize, len(shards), b.n)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+		sc.availIdx = append(sc.availIdx, i)
+	}
+	for _, t := range targets {
+		if t < 0 || t >= b.n {
+			return fmt.Errorf("%w: target %d out of [0,%d)", ErrShardSize, t, b.n)
+		}
+		if shards[t] == nil {
+			sc.targetIdx = append(sc.targetIdx, t)
+		}
+	}
+	missing := sc.targetIdx
+	if len(missing) == 0 {
+		return nil
+	}
+	if size == -1 {
+		return fmt.Errorf("%w: all shards erased", ErrShardSize)
+	}
+	if size%gf16.SymbolBytes != 0 {
+		return fmt.Errorf("%w: shard size %d not a whole number of 16-bit symbols", ErrShardSize, size)
+	}
+	coeff, err := b.solveCoefficients(sc.availIdx, missing)
+	if err != nil {
+		return fmt.Errorf("%w: targets %v", ErrUnrecoverable, missing)
+	}
+	for _, a := range sc.availIdx {
+		sc.availShards = append(sc.availShards, shards[a])
+	}
+	for range missing {
+		sc.out = append(sc.out, alloc.GetShard(size))
+	}
+	coeff.MulVec(sc.out, sc.availShards)
+	for i, t := range missing {
+		shards[t] = sc.out[i]
+	}
+	return nil
+}
+
+// ApplyDelta updates the n-k parity shards for an in-place change of data
+// element elem, where delta is newData XOR oldData. delta must hold whole
+// symbols.
+func (b *Base16) ApplyDelta(parity [][]byte, elem int, delta []byte) error {
+	if len(parity) != b.n-b.k {
+		return fmt.Errorf("%w: got %d parity shards, want %d", ErrShardSize, len(parity), b.n-b.k)
+	}
+	if elem < 0 || elem >= b.k {
+		return fmt.Errorf("%w: data element %d out of [0,%d)", ErrShardSize, elem, b.k)
+	}
+	if len(delta)%gf16.SymbolBytes != 0 {
+		return fmt.Errorf("%w: delta size %d not a whole number of 16-bit symbols", ErrShardSize, len(delta))
+	}
+	for t, p := range parity {
+		if len(p) != len(delta) {
+			return fmt.Errorf("%w: parity %d has %d bytes, delta %d", ErrShardSize, t, len(p), len(delta))
+		}
+	}
+	for t, p := range parity {
+		gf16.MulAddSlice(b.gen.At(b.k+t, elem), p, delta)
+	}
+	return nil
+}
+
+// CanRecover reports whether the erasure pattern is decodable.
+func (b *Base16) CanRecover(erased []int) bool {
+	if len(erased) == 0 {
+		return true
+	}
+	mark := make([]bool, b.n)
+	for _, e := range erased {
+		if e < 0 || e >= b.n {
+			return false
+		}
+		mark[e] = true
+	}
+	avail := make([]int, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		if !mark[i] {
+			avail = append(avail, i)
+		}
+	}
+	_, err := matrix.SpanSolve16(b.gen.SelectRows(avail), b.gen.SelectRows(erased))
+	return err == nil
+}
+
+// VerifySet reports whether the surviving set `set` suffices to rebuild
+// element idx. Used by tests and by planners validating recovery sets.
+func (b *Base16) VerifySet(idx int, set []int) bool {
+	_, err := matrix.SpanSolve16(b.gen.SelectRows(set), b.gen.SelectRows([]int{idx}))
+	return err == nil
+}
+
+// VerifyFaultTolerance checks the declared tolerance against real erasure
+// patterns: every pattern of size ft drawn by the sampler must be
+// recoverable. When the total pattern count is at most maxExhaustive it
+// enumerates all of them (a proof); otherwise it draws `samples` random
+// patterns with the given next function (an audit). Returns the first
+// failing pattern, or nil.
+//
+// Constructors without a closed-form MDS argument call this at build time
+// with a modest sample budget; tests call it with large ones.
+func (b *Base16) VerifyFaultTolerance(maxExhaustive, samples int, next func(n int) int) []int {
+	f := b.ft
+	if f == 0 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < f; i++ {
+		total *= b.n - i
+		total /= i + 1
+		if total > maxExhaustive {
+			break
+		}
+	}
+	if total <= maxExhaustive {
+		var bad []int
+		idx := make([]int, f)
+		var rec func(start, depth int) bool
+		rec = func(start, depth int) bool {
+			if depth == f {
+				if !b.CanRecover(idx) {
+					bad = append([]int(nil), idx...)
+					return false
+				}
+				return true
+			}
+			for i := start; i <= b.n-(f-depth); i++ {
+				idx[depth] = i
+				if !rec(i+1, depth+1) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0, 0)
+		return bad
+	}
+	pattern := make([]int, 0, f)
+	used := make(map[int]bool, f)
+	for s := 0; s < samples; s++ {
+		pattern = pattern[:0]
+		for k := range used {
+			delete(used, k)
+		}
+		for len(pattern) < f {
+			e := next(b.n)
+			if !used[e] {
+				used[e] = true
+				pattern = append(pattern, e)
+			}
+		}
+		if !b.CanRecover(pattern) {
+			return append([]int(nil), pattern...)
+		}
+	}
+	return nil
+}
+
+var (
+	_ IntoEncoder       = (*Base16)(nil)
+	_ IntoReconstructor = (*Base16)(nil)
+	_ WideSymbolCode    = (*Base16)(nil)
+	_ PositionalCoder   = (*Base16)(nil)
+)

@@ -42,9 +42,6 @@ type Code interface {
 	// pattern is decodable. MDS codes have f = N-K; LRC has f < N-K but
 	// recovers many larger patterns too (see CanRecover).
 	FaultTolerance() int
-	// Generator returns the n×k generator matrix (first k rows identity).
-	// The returned matrix must not be modified.
-	Generator() *matrix.Matrix
 	// Encode computes the n-k parity shards for k equally sized data shards.
 	Encode(data [][]byte) ([][]byte, error)
 	// Reconstruct rebuilds every nil shard in the length-n slice in place,
@@ -96,6 +93,23 @@ type IntoEncoder interface {
 type IntoReconstructor interface {
 	ReconstructInto(shards [][]byte, alloc Allocator) error
 	ReconstructElementsInto(shards [][]byte, targets []int, alloc Allocator) error
+}
+
+// WideSymbolCode is implemented by codes whose elements are multi-byte
+// field symbols. SymbolBytes is the symbol width in bytes — shard sizes
+// must be a multiple of it. Codes that don't implement it operate
+// byte-wise (width 1).
+type WideSymbolCode interface {
+	SymbolBytes() int
+}
+
+// SymbolBytesOf returns the symbol width of a code: c's SymbolBytes when it
+// implements WideSymbolCode, else 1.
+func SymbolBytesOf(c Code) int {
+	if w, ok := c.(WideSymbolCode); ok {
+		return w.SymbolBytes()
+	}
+	return 1
 }
 
 // PositionalCoder reports whether the code's kernel is byte-positional:

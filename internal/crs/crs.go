@@ -8,11 +8,12 @@
 // CRS(k,m) is the same linear code as the matrix Reed-Solomon in
 // internal/rs built from the same Cauchy block, so it is MDS and slots into
 // EC-FRM as a candidate code; what changes is the encode/decode kernel.
+// CRS16(k,m) is the identical construction over GF(2^16) for wide stripes
+// (see crs16.go); both share the width-generic XOR machinery in xor.go.
 package crs
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/bitmatrix"
 	"repro/internal/codes"
@@ -20,33 +21,15 @@ import (
 	"repro/internal/matrix"
 )
 
-// W is the symbol width in bits. Elements are split into W packets; shard
-// sizes must be multiples of W bytes.
+// W is the GF(2^8) symbol width in bits. Elements are split into W packets;
+// shard sizes must be multiples of W bytes.
 const W = 8
 
 // Code is a Cauchy Reed-Solomon code with parameters (k, m).
 type Code struct {
 	*codes.Base
 	k, m int
-	// bitGen is the (n·W)×(k·W) binary generator; rows of element i are
-	// bit-rows [i·W, (i+1)·W).
-	bitGen *bitmatrix.Matrix
-	// paritySub is bitGen's parity block restricted to the data columns —
-	// the matrix every encode applies — precomputed so Encode never
-	// re-extracts it.
-	paritySub *bitmatrix.Matrix
-	// sched is the precomputed XOR schedule for EncodeScheduled.
-	sched *Schedule
-	// pkPool recycles the (k+m)·W packet-pointer tables the encode paths
-	// need, so steady-state encodes allocate only the parity shards — or
-	// nothing at all on the EncodeInto path.
-	pkPool sync.Pool
-	// invMu guards invCache, which memoizes the inverted survivor
-	// sub-generator per survivor selection: a storage system repairs the
-	// same failure pattern for every stripe, and the k·W×k·W GF(2)
-	// inversion dwarfs the XOR work for small shards.
-	invMu    sync.RWMutex
-	invCache map[[4]uint64]*bitmatrix.Matrix
+	xc   *xorCode
 }
 
 // New constructs CRS(k,m).
@@ -58,20 +41,11 @@ func New(k, m int) (*Code, error) {
 		return nil, fmt.Errorf("crs: k+m = %d exceeds field size 256", k+m)
 	}
 	gen := matrix.Identity(k).Stack(matrix.Cauchy(m, k))
-	c := &Code{
-		Base:     codes.NewBase(gen),
-		k:        k,
-		m:        m,
-		invCache: make(map[[4]uint64]*bitmatrix.Matrix),
-	}
-	c.bitGen = expand(gen)
-	c.paritySub = selectCols(c.bitGen.SelectRows(rowRange(k*W, (k+m)*W)), 0, k*W)
-	c.sched = buildSchedule(c.paritySub, k, m)
-	c.pkPool.New = func() any {
-		s := make([][]byte, (k+m)*W)
-		return &s
-	}
-	return c, nil
+	return &Code{
+		Base: codes.NewBase(gen),
+		k:    k, m: m,
+		xc: newXORCode(expand(gen), W, k, m),
+	}, nil
 }
 
 // Must constructs CRS(k,m) and panics on invalid parameters.
@@ -97,21 +71,12 @@ func (c *Code) M() int { return c.m }
 
 // BitGenerator returns the binary generator matrix. Callers must not modify
 // it.
-func (c *Code) BitGenerator() *bitmatrix.Matrix { return c.bitGen }
+func (c *Code) BitGenerator() *bitmatrix.Matrix { return c.xc.bitGen }
 
 // XORCount returns the number of packet XORs one stripe encode performs —
 // the cost metric CRS constructions optimize (set bits in the parity block
 // beyond the first contribution of each output packet).
-func (c *Code) XORCount() int {
-	count := 0
-	for i := c.k * W; i < (c.k+c.m)*W; i++ {
-		w := c.bitGen.RowWeight(i)
-		if w > 0 {
-			count += w - 1
-		}
-	}
-	return count
-}
+func (c *Code) XORCount() int { return c.xc.xorCount() }
 
 // expand converts a GF(2^W) matrix into its binary equivalent: each field
 // element a becomes the W×W companion block whose column j holds the bits of
@@ -137,101 +102,17 @@ func expand(m *matrix.Matrix) *bitmatrix.Matrix {
 	return out
 }
 
-// packets splits a shard into W equal packets (packet p holds bit-plane p's
-// bytes: Jerasure's layout is simply W contiguous sub-blocks).
-func packets(shard []byte) [][]byte {
-	out := make([][]byte, W)
-	packetsInto(out, shard)
-	return out
-}
-
-// packetsInto writes the W packet views of shard into dst without
-// allocating. dst must have length W.
-func packetsInto(dst [][]byte, shard []byte) {
-	plen := len(shard) / W
-	for p := 0; p < W; p++ {
-		dst[p] = shard[p*plen : (p+1)*plen]
-	}
-}
-
-// checkData validates data shard count, consistency, and the packet-size
-// constraint, returning the common shard size.
-func (c *Code) checkData(data [][]byte) (int, error) {
-	if len(data) != c.k {
-		return 0, fmt.Errorf("%w: got %d data shards, want %d", codes.ErrShardSize, len(data), c.k)
-	}
-	size := -1
-	for i, d := range data {
-		if d == nil {
-			return 0, fmt.Errorf("%w: data shard %d is nil", codes.ErrShardSize, i)
-		}
-		if size == -1 {
-			size = len(d)
-		}
-		if len(d) != size {
-			return 0, fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(d), size)
-		}
-	}
-	if size%W != 0 {
-		return 0, fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
-	}
-	return size, nil
-}
-
 // Encode computes parity shards using only XOR operations on packets. Shard
 // sizes must be multiples of W bytes.
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
-	size, err := c.checkData(data)
-	if err != nil {
-		return nil, err
-	}
-	parity := make([][]byte, c.m)
-	for i := range parity {
-		parity[i] = make([]byte, size)
-	}
-	c.encodePacked(parity, data)
-	return parity, nil
+	return c.xc.encode(data)
 }
 
 // EncodeInto computes parity into caller-provided cells — the
 // zero-allocation encode path. parity must hold m buffers of the data shard
 // size; contents are overwritten.
 func (c *Code) EncodeInto(parity, data [][]byte) error {
-	size, err := c.checkData(data)
-	if err != nil {
-		return err
-	}
-	if len(parity) != c.m {
-		return fmt.Errorf("%w: got %d parity cells, want %d", codes.ErrShardSize, len(parity), c.m)
-	}
-	for i, p := range parity {
-		if len(p) != size {
-			return fmt.Errorf("%w: parity cell %d has %d bytes, want %d", codes.ErrShardSize, i, len(p), size)
-		}
-	}
-	c.encodePacked(parity, data)
-	return nil
-}
-
-// encodePacked runs the XOR encode through a pooled packet-pointer table.
-// Inputs are pre-validated.
-func (c *Code) encodePacked(parity, data [][]byte) {
-	tp := c.pkPool.Get().(*[][]byte)
-	table := *tp
-	for i, d := range data {
-		packetsInto(table[i*W:(i+1)*W], d)
-	}
-	out := table[c.k*W : (c.k+c.m)*W]
-	for i, p := range parity {
-		packetsInto(out[i*W:(i+1)*W], p)
-	}
-	// Parity bit-rows over the data columns are all we need since the left
-	// block of the generator is identity.
-	c.paritySub.MulVec(out, table[:c.k*W])
-	for i := range table {
-		table[i] = nil // don't pin shard memory inside the pool
-	}
-	c.pkPool.Put(tp)
+	return c.xc.encodeInto(parity, data)
 }
 
 // Reconstruct rebuilds every nil shard. CRS shards use the packet layout
@@ -239,7 +120,7 @@ func (c *Code) encodePacked(parity, data [][]byte) {
 // binary generator as well; this overrides the embedded field-arithmetic
 // decoder with the XOR path.
 func (c *Code) Reconstruct(shards [][]byte) error {
-	return c.ReconstructXOR(shards)
+	return c.xc.reconstructXOR(shards)
 }
 
 // ReconstructInto overrides the promoted Base method: the embedded
@@ -247,13 +128,13 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 // the XOR path must win no matter which interface the caller reached us
 // through. The allocator is unused — the XOR decode manages its own buffers.
 func (c *Code) ReconstructInto(shards [][]byte, _ codes.Allocator) error {
-	return c.ReconstructXOR(shards)
+	return c.xc.reconstructXOR(shards)
 }
 
 // ReconstructElementsInto overrides the promoted Base method for the same
 // reason as ReconstructInto.
 func (c *Code) ReconstructElementsInto(shards [][]byte, targets []int, _ codes.Allocator) error {
-	return c.ReconstructElements(shards, targets)
+	return c.xc.reconstructElements(shards, targets)
 }
 
 // ReconstructElements rebuilds the targets (and, as a side effect of the
@@ -261,12 +142,7 @@ func (c *Code) ReconstructElementsInto(shards [][]byte, targets []int, _ codes.A
 // are recoverable exactly when at least k survivors exist, so delegating to
 // the full decode loses no generality.
 func (c *Code) ReconstructElements(shards [][]byte, targets []int) error {
-	for _, t := range targets {
-		if t < 0 || t >= c.k+c.m {
-			return fmt.Errorf("%w: target %d out of range", codes.ErrShardSize, t)
-		}
-	}
-	return c.ReconstructXOR(shards)
+	return c.xc.reconstructElements(shards, targets)
 }
 
 // ReconstructXOR rebuilds every nil shard using the pure-XOR decode path:
@@ -274,170 +150,19 @@ func (c *Code) ReconstructElements(shards [][]byte, targets []int) error {
 // recover the data packets, and re-encode the erased elements. It fails
 // with codes.ErrUnrecoverable beyond m erasures.
 func (c *Code) ReconstructXOR(shards [][]byte) error {
-	n := c.k + c.m
-	if len(shards) != n {
-		return fmt.Errorf("%w: got %d shards, want %d", codes.ErrShardSize, len(shards), n)
-	}
-	var avail, erased []int
-	size := -1
-	for i, s := range shards {
-		if s == nil {
-			erased = append(erased, i)
-			continue
-		}
-		if size == -1 {
-			size = len(s)
-		}
-		if len(s) != size {
-			return fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(s), size)
-		}
-		avail = append(avail, i)
-	}
-	if len(erased) == 0 {
-		return nil
-	}
-	if len(avail) < c.k {
-		return fmt.Errorf("%w: only %d survivors for k=%d", codes.ErrUnrecoverable, len(avail), c.k)
-	}
-	if size%W != 0 {
-		return fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
-	}
-	use := avail[:c.k]
-	inv, err := c.survivorInverse(use)
-	if err != nil {
-		return fmt.Errorf("%w: survivor sub-generator singular", codes.ErrUnrecoverable)
-	}
-	// Recover all data packets.
-	in := make([][]byte, 0, c.k*W)
-	for _, e := range use {
-		in = append(in, packets(shards[e])...)
-	}
-	dataShards := make([][]byte, c.k)
-	dataPk := make([][]byte, 0, c.k*W)
-	for i := range dataShards {
-		dataShards[i] = make([]byte, size)
-		dataPk = append(dataPk, packets(dataShards[i])...)
-	}
-	inv.MulVec(dataPk, in)
-	// Re-emit the erased elements from the recovered data.
-	for _, e := range erased {
-		shard := make([]byte, size)
-		outPk := packets(shard)
-		var rows []int
-		rows = append(rows, rowRange(e*W, (e+1)*W)...)
-		selectCols(c.bitGen.SelectRows(rows), 0, c.k*W).MulVec(outPk, dataPk)
-		shards[e] = shard
-	}
-	return nil
+	return c.xc.reconstructXOR(shards)
 }
 
 // ApplyDelta folds an update of data element elem into the parity shards
 // through the binary generator: each parity element's W×W block for elem is
 // applied to the delta's packets and XORed in. Pure XOR, like the encode.
 func (c *Code) ApplyDelta(parity [][]byte, elem int, delta []byte) error {
-	if len(parity) != c.m {
-		return fmt.Errorf("%w: got %d parity shards, want %d", codes.ErrShardSize, len(parity), c.m)
-	}
-	if elem < 0 || elem >= c.k {
-		return fmt.Errorf("%w: data element %d out of [0,%d)", codes.ErrShardSize, elem, c.k)
-	}
-	if len(delta)%W != 0 {
-		return fmt.Errorf("%w: delta size %d not a multiple of %d", codes.ErrShardSize, len(delta), W)
-	}
-	for t, p := range parity {
-		if len(p) != len(delta) {
-			return fmt.Errorf("%w: parity %d has %d bytes, delta %d", codes.ErrShardSize, t, len(p), len(delta))
-		}
-	}
-	deltaPk := packets(delta)
-	buf := make([]byte, len(delta))
-	for t := 0; t < c.m; t++ {
-		block := selectCols(c.bitGen.SelectRows(rowRange((c.k+t)*W, (c.k+t+1)*W)), elem*W, (elem+1)*W)
-		block.MulVec(packets(buf), deltaPk) // MulVec zeroes buf's packets first
-		gf.AddSlice(parity[t], buf)
-	}
-	return nil
-}
-
-// survivorInverse returns the inverted k·W×k·W sub-generator for the given
-// survivor elements, memoized per selection: repairing a failure pattern
-// touches every stripe with the same survivors, so the GF(2) inversion is
-// paid once.
-func (c *Code) survivorInverse(use []int) (*bitmatrix.Matrix, error) {
-	var key [4]uint64
-	for _, e := range use {
-		key[e/64] |= 1 << (uint(e) % 64)
-	}
-	c.invMu.RLock()
-	inv, ok := c.invCache[key]
-	c.invMu.RUnlock()
-	if ok {
-		return inv, nil
-	}
-	bitRows := make([]int, 0, c.k*W)
-	for _, e := range use {
-		bitRows = append(bitRows, rowRange(e*W, (e+1)*W)...)
-	}
-	inv, err := c.bitGen.SelectRows(bitRows).Invert()
-	if err != nil {
-		return nil, err
-	}
-	c.invMu.Lock()
-	c.invCache[key] = inv
-	c.invMu.Unlock()
-	return inv, nil
-}
-
-// rowRange returns [lo, hi).
-func rowRange(lo, hi int) []int {
-	out := make([]int, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		out = append(out, i)
-	}
-	return out
-}
-
-// selectCols copies columns [lo,hi) of m into a new matrix.
-func selectCols(m *bitmatrix.Matrix, lo, hi int) *bitmatrix.Matrix {
-	out := bitmatrix.New(m.Rows(), hi-lo)
-	for i := 0; i < m.Rows(); i++ {
-		for j := lo; j < hi; j++ {
-			if m.At(i, j) {
-				out.Set(i, j-lo, true)
-			}
-		}
-	}
-	return out
+	return c.xc.applyDelta(parity, elem, delta)
 }
 
 // RecoverySets mirrors rs.Code: data-heavy sets first, then cyclic windows.
 func (c *Code) RecoverySets(idx int) [][]int {
-	n := c.k + c.m
-	if idx < 0 || idx >= n {
-		panic(fmt.Sprintf("crs: element %d out of [0,%d)", idx, n))
-	}
-	var sets [][]int
-	otherData := make([]int, 0, c.k)
-	for j := 0; j < c.k; j++ {
-		if j != idx {
-			otherData = append(otherData, j)
-		}
-	}
-	if idx < c.k {
-		for p := c.k; p < n; p++ {
-			sets = append(sets, append(append([]int{}, otherData...), p))
-		}
-	} else {
-		sets = append(sets, otherData)
-	}
-	for t := 0; t < n-c.k; t++ {
-		set := make([]int, 0, c.k)
-		for j := 0; j < c.k; j++ {
-			set = append(set, (idx+1+t+j)%n)
-		}
-		sets = append(sets, set)
-	}
-	return sets
+	return crsRecoverySets(c.k, c.m, idx)
 }
 
 var (

@@ -1,0 +1,178 @@
+// Wide-stripe Cauchy Reed-Solomon over GF(2^16): CRS16(k,m) expands a
+// GF(2^16) Cauchy generator into a GF(2) bit matrix, splits each element
+// into 16 packets, and encodes/decodes by pure XOR — the same construction
+// as CRS(k,m) with the field ceiling lifted from 256 to the wide-code limit.
+// Shard sizes must be multiples of W16 (16) bytes.
+package crs
+
+import (
+	"fmt"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/codes"
+	"repro/internal/gf16"
+	"repro/internal/matrix"
+)
+
+// W16 is the GF(2^16) symbol width in bits. Elements are split into W16
+// packets; shard sizes must be multiples of W16 bytes.
+const W16 = 16
+
+// Code16 is a wide-stripe Cauchy Reed-Solomon code with parameters (k, m)
+// over GF(2^16).
+type Code16 struct {
+	*codes.Base16
+	k, m int
+	xc   *xorCode
+}
+
+// New16 constructs CRS16(k,m). The Cauchy generator makes the code MDS by
+// construction, so the declared fault tolerance m needs no search.
+func New16(k, m int) (*Code16, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("crs: invalid parameters k=%d m=%d", k, m)
+	}
+	if k+m > codes.MaxN16 {
+		return nil, fmt.Errorf("crs: k+m = %d exceeds wide-code limit %d", k+m, codes.MaxN16)
+	}
+	gen := matrix.Identity16(k).Stack(matrix.Cauchy16(m, k))
+	return &Code16{
+		Base16: codes.NewBase16(gen, m),
+		k:      k, m: m,
+		xc: newXORCode(expand16(gen), W16, k, m),
+	}, nil
+}
+
+// Must16 constructs CRS16(k,m) and panics on invalid parameters.
+func Must16(k, m int) *Code16 {
+	c, err := New16(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// expand16 converts a GF(2^16) matrix into its binary equivalent: each field
+// element a becomes the 16×16 companion block whose column j holds the bits
+// of a·x^j, so block-vector products over GF(2) agree with field products.
+func expand16(m *matrix.Matrix16) *bitmatrix.Matrix {
+	out := bitmatrix.New(m.Rows()*W16, m.Cols()*W16)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			a := m.At(i, j)
+			if a == 0 {
+				continue
+			}
+			for col := 0; col < W16; col++ {
+				v := gf16.Mul(a, gf16.Exp(2, col)) // a·x^col
+				for row := 0; row < W16; row++ {
+					if v>>uint(row)&1 == 1 {
+						out.Set(i*W16+row, j*W16+col, true)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Name returns "CRS16(k,m)".
+func (c *Code16) Name() string { return fmt.Sprintf("CRS16(%d,%d)", c.k, c.m) }
+
+// PositionalKernel reports false, overriding the embedded Base16: CRS16
+// shards use the packet layout (W16 bit-plane sub-blocks per shard), so a
+// parity byte mixes data bytes from different offsets and byte-range
+// chunking of shards would corrupt the code.
+func (c *Code16) PositionalKernel() bool { return false }
+
+// SymbolBytes reports the shard-size granularity, overriding the embedded
+// Base16's symbol width: the packet layout needs shard sizes divisible by
+// W16 bytes, not just by the 2-byte field symbol.
+func (c *Code16) SymbolBytes() int { return W16 }
+
+// M returns the number of parity elements per row.
+func (c *Code16) M() int { return c.m }
+
+// BitGenerator returns the binary generator matrix. Callers must not modify
+// it.
+func (c *Code16) BitGenerator() *bitmatrix.Matrix { return c.xc.bitGen }
+
+// XORCount returns the number of packet XORs one stripe encode performs.
+func (c *Code16) XORCount() int { return c.xc.xorCount() }
+
+// Schedule returns the code's precomputed XOR schedule.
+func (c *Code16) Schedule() *Schedule { return c.xc.sched }
+
+// NaiveXOROps returns the operation count of the unscheduled encode (one op
+// per set generator bit), for comparison with Schedule().Ops().
+func (c *Code16) NaiveXOROps() int { return c.xc.naiveXOROps() }
+
+// Encode computes parity shards using only XOR operations on packets. Shard
+// sizes must be multiples of W16 bytes.
+func (c *Code16) Encode(data [][]byte) ([][]byte, error) {
+	return c.xc.encode(data)
+}
+
+// EncodeInto computes parity into caller-provided cells — the
+// zero-allocation encode path. parity must hold m buffers of the data shard
+// size; contents are overwritten.
+func (c *Code16) EncodeInto(parity, data [][]byte) error {
+	return c.xc.encodeInto(parity, data)
+}
+
+// EncodeScheduled computes parity shards by running the XOR schedule. The
+// result is bit-identical to Encode but performs fewer XOR passes when rows
+// overlap. Shard sizes must be multiples of W16 bytes.
+func (c *Code16) EncodeScheduled(data [][]byte) ([][]byte, error) {
+	return c.xc.encodeScheduled(data)
+}
+
+// Reconstruct rebuilds every nil shard. CRS16 shards use the packet layout,
+// so decoding must go through the binary generator as well; this overrides
+// the embedded field-arithmetic decoder with the XOR path.
+func (c *Code16) Reconstruct(shards [][]byte) error {
+	return c.xc.reconstructXOR(shards)
+}
+
+// ReconstructInto overrides the promoted Base16 method: the embedded
+// field-arithmetic decode would silently corrupt packet-layout shards, so
+// the XOR path must win no matter which interface the caller reached us
+// through. The allocator is unused — the XOR decode manages its own buffers.
+func (c *Code16) ReconstructInto(shards [][]byte, _ codes.Allocator) error {
+	return c.xc.reconstructXOR(shards)
+}
+
+// ReconstructElementsInto overrides the promoted Base16 method for the same
+// reason as ReconstructInto.
+func (c *Code16) ReconstructElementsInto(shards [][]byte, targets []int, _ codes.Allocator) error {
+	return c.xc.reconstructElements(shards, targets)
+}
+
+// ReconstructElements rebuilds the targets (and, as a side effect of the
+// XOR decode, any other recoverable nil shard).
+func (c *Code16) ReconstructElements(shards [][]byte, targets []int) error {
+	return c.xc.reconstructElements(shards, targets)
+}
+
+// ReconstructXOR rebuilds every nil shard using the pure-XOR decode path.
+func (c *Code16) ReconstructXOR(shards [][]byte) error {
+	return c.xc.reconstructXOR(shards)
+}
+
+// ApplyDelta folds an update of data element elem into the parity shards
+// through the binary generator. Pure XOR, like the encode.
+func (c *Code16) ApplyDelta(parity [][]byte, elem int, delta []byte) error {
+	return c.xc.applyDelta(parity, elem, delta)
+}
+
+// RecoverySets mirrors rs.Code16: data-heavy sets first, then cyclic
+// windows.
+func (c *Code16) RecoverySets(idx int) [][]int {
+	return crsRecoverySets(c.k, c.m, idx)
+}
+
+var (
+	_ codes.Code           = (*Code16)(nil)
+	_ codes.IntoEncoder    = (*Code16)(nil)
+	_ codes.WideSymbolCode = (*Code16)(nil)
+)

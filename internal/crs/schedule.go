@@ -1,17 +1,13 @@
 package crs
 
 import (
-	"fmt"
-
 	"repro/internal/bitmatrix"
-	"repro/internal/codes"
-	"repro/internal/gf"
 )
 
 // Op is one step of an XOR schedule. If Copy is true the destination packet
 // is overwritten with the source; otherwise the source is XORed in.
-// Sources index the unified packet space: data packets are [0, k·W), output
-// (parity) packets [k·W, n·W).
+// Sources index the unified packet space: data packets are [0, k·w), output
+// (parity) packets [k·w, n·w).
 type Op struct {
 	Dst  int
 	Src  int
@@ -33,11 +29,11 @@ type Schedule struct {
 func (s *Schedule) Ops() int { return len(s.ops) }
 
 // buildSchedule derives a schedule from the parity block of the binary
-// generator (rows = m·W parity bit-rows over k·W data columns) using a
+// generator (rows = m·w parity bit-rows over k·w data columns) using a
 // greedy nearest-base heuristic: each output row is computed either directly
 // from its inputs or as a delta from an already computed output row,
-// whichever costs fewer XORs.
-func buildSchedule(parityBits *bitmatrix.Matrix, k, m int) *Schedule {
+// whichever costs fewer XORs. w is the symbol width in bits.
+func buildSchedule(parityBits *bitmatrix.Matrix, w, k, m int) *Schedule {
 	rowsN := parityBits.Rows()
 	colsN := parityBits.Cols()
 	sched := &Schedule{k: k, m: m}
@@ -73,7 +69,7 @@ func buildSchedule(parityBits *bitmatrix.Matrix, k, m int) *Schedule {
 				bestBase = base
 			}
 		}
-		dst := k*W + r
+		dst := k*w + r
 		if bestBase < 0 {
 			first := true
 			for j := 0; j < colsN; j++ {
@@ -88,7 +84,7 @@ func buildSchedule(parityBits *bitmatrix.Matrix, k, m int) *Schedule {
 				sched.ops = append(sched.ops, Op{Dst: dst, Src: dst, Copy: true})
 			}
 		} else {
-			sched.ops = append(sched.ops, Op{Dst: dst, Src: k*W + bestBase, Copy: true})
+			sched.ops = append(sched.ops, Op{Dst: dst, Src: k*w + bestBase, Copy: true})
 			base := computed[bestBase]
 			for j := 0; j < colsN; j++ {
 				if bits[j] != base[j] {
@@ -102,63 +98,15 @@ func buildSchedule(parityBits *bitmatrix.Matrix, k, m int) *Schedule {
 }
 
 // Schedule returns the code's precomputed XOR schedule.
-func (c *Code) Schedule() *Schedule { return c.sched }
+func (c *Code) Schedule() *Schedule { return c.xc.sched }
 
 // NaiveXOROps returns the operation count of the unscheduled encode (one op
 // per set generator bit), for comparison with Schedule().Ops().
-func (c *Code) NaiveXOROps() int {
-	ops := 0
-	for r := c.k * W; r < (c.k+c.m)*W; r++ {
-		ops += c.bitGen.RowWeight(r)
-	}
-	return ops
-}
+func (c *Code) NaiveXOROps() int { return c.xc.naiveXOROps() }
 
 // EncodeScheduled computes parity shards by running the XOR schedule. The
 // result is bit-identical to Encode but performs fewer XOR passes when rows
 // overlap. Shard sizes must be multiples of W bytes.
 func (c *Code) EncodeScheduled(data [][]byte) ([][]byte, error) {
-	if len(data) != c.k {
-		return nil, fmt.Errorf("%w: got %d data shards, want %d", codes.ErrShardSize, len(data), c.k)
-	}
-	size := -1
-	for i, d := range data {
-		if d == nil {
-			return nil, fmt.Errorf("%w: data shard %d is nil", codes.ErrShardSize, i)
-		}
-		if size == -1 {
-			size = len(d)
-		}
-		if len(d) != size {
-			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", codes.ErrShardSize, i, len(d), size)
-		}
-	}
-	if size%W != 0 {
-		return nil, fmt.Errorf("%w: shard size %d not a multiple of %d", codes.ErrShardSize, size, W)
-	}
-	// Unified packet table: data packets then parity packets.
-	table := make([][]byte, (c.k+c.m)*W)
-	for i, d := range data {
-		pk := packets(d)
-		copy(table[i*W:(i+1)*W], pk)
-	}
-	parity := make([][]byte, c.m)
-	for i := range parity {
-		parity[i] = make([]byte, size)
-		pk := packets(parity[i])
-		copy(table[(c.k+i)*W:(c.k+i+1)*W], pk)
-	}
-	for _, op := range c.sched.ops {
-		dst := table[op.Dst]
-		if op.Copy {
-			if op.Src == op.Dst {
-				clear(dst)
-				continue
-			}
-			copy(dst, table[op.Src])
-			continue
-		}
-		gf.AddSlice(dst, table[op.Src])
-	}
-	return parity, nil
+	return c.xc.encodeScheduled(data)
 }

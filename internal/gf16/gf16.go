@@ -1,15 +1,21 @@
 // Package gf16 implements arithmetic over GF(2^16) — the wide-symbol field
-// GF-Complete provides alongside w=8 — plus a self-contained wide
-// Reed-Solomon codec built on it. GF(2^8) caps a code at 256 elements per
-// row; cloud-scale deployments with very wide stripes (hundreds of disks)
-// need w=16. The primitive polynomial is x^16+x^12+x^3+x+1 (0x1100b), the
-// same default as GF-Complete.
+// GF-Complete provides alongside w=8. GF(2^8) caps a code at 256 elements
+// per row; cloud-scale deployments with very wide stripes (k in the tens to
+// hundreds) need w=16. The primitive polynomial is x^16+x^12+x^3+x+1
+// (0x1100b), the same default as GF-Complete.
+//
+// Like internal/gf, the package has two faces: scalar field arithmetic on
+// uint16 symbols (this file), and bulk slice kernels over byte slices that
+// pack symbols little-endian, two bytes each (kernels.go) — so GF(2^16)
+// codes speak the same [][]byte shard currency as the rest of the system
+// and flow through the stores, the streaming pipeline, and the fan-out
+// executor unchanged.
+//
+// All operations are allocation-free and safe for concurrent use: the
+// log/exp tables are computed once at package init, and the per-coefficient
+// multiplication tables the kernels use are built on first use and memoized
+// forever (see kernels.go).
 package gf16
-
-import (
-	"errors"
-	"fmt"
-)
 
 // Poly is the primitive polynomial generating the field.
 const Poly = 0x1100b
@@ -17,8 +23,17 @@ const Poly = 0x1100b
 // Order is the field size.
 const Order = 1 << 16
 
+// SymbolBytes is the byte width of one packed symbol in the slice kernels.
+const SymbolBytes = 2
+
+// generator of the multiplicative group. 2 is primitive for 0x1100b.
+const generator = 2
+
 var (
+	// expTable[i] = generator^i for i in [0, 2·(Order-1)). Doubled so Mul
+	// can index exp[log(a)+log(b)] without a modulo reduction.
 	expTable [2 * (Order - 1)]uint16
+	// logTable[a] = discrete log of a (log of 0 is unused and set to 0).
 	logTable [Order]uint32
 )
 
@@ -35,10 +50,13 @@ func init() {
 	}
 }
 
-// Add returns a+b (XOR).
+// Add returns a+b in GF(2^16). Addition and subtraction coincide (XOR).
 func Add(a, b uint16) uint16 { return a ^ b }
 
-// Mul returns a·b.
+// Sub returns a-b in GF(2^16); identical to Add.
+func Sub(a, b uint16) uint16 { return a ^ b }
+
+// Mul returns a·b in GF(2^16).
 func Mul(a, b uint16) uint16 {
 	if a == 0 || b == 0 {
 		return 0
@@ -69,7 +87,7 @@ func Div(a, b uint16) uint16 {
 	return expTable[d]
 }
 
-// Exp returns base^e, with Exp(0,0) = 1.
+// Exp returns base^e, with Exp(0,0) = 1 by convention.
 func Exp(base uint16, e int) uint16 {
 	if e == 0 {
 		return 1
@@ -85,190 +103,68 @@ func Exp(base uint16, e int) uint16 {
 	return expTable[lg]
 }
 
-// MulAddSlice computes dst[i] ^= c·src[i] over uint16 symbols.
-func MulAddSlice(c uint16, dst, src []uint16) {
+// Generator returns g^i where g is the field's primitive element (2).
+// Generator(0) == 1 and the sequence has period 65535.
+func Generator(i int) uint16 {
+	i %= Order - 1
+	if i < 0 {
+		i += Order - 1
+	}
+	return expTable[i]
+}
+
+// Log returns the discrete logarithm of a base the primitive element.
+// It panics if a is zero, which has no logarithm.
+func Log(a uint16) int {
+	if a == 0 {
+		panic("gf16: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// MulRow sets dst[i] = c·src[i] over uint16 symbol rows — the scalar row
+// kernel matrix row-reduction uses (the bulk data path goes through the
+// packed byte kernels in kernels.go instead).
+func MulRow(c uint16, dst, src []uint16) {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("gf16: length mismatch %d != %d", len(dst), len(src)))
+		panic("gf16: MulRow length mismatch")
 	}
-	if c == 0 {
-		return
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		lc := logTable[c]
+		for i, s := range src {
+			if s != 0 {
+				dst[i] = expTable[lc+logTable[s]]
+			} else {
+				dst[i] = 0
+			}
+		}
 	}
-	if c == 1 {
+}
+
+// MulAddRow sets dst[i] ^= c·src[i] over uint16 symbol rows.
+func MulAddRow(c uint16, dst, src []uint16) {
+	if len(dst) != len(src) {
+		panic("gf16: MulAddRow length mismatch")
+	}
+	switch c {
+	case 0:
+	case 1:
 		for i := range dst {
 			dst[i] ^= src[i]
 		}
-		return
-	}
-	lc := logTable[c]
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[lc+logTable[s]]
-		}
-	}
-}
-
-// ErrUnrecoverable is returned when an erasure pattern cannot be decoded.
-var ErrUnrecoverable = errors.New("gf16: unrecoverable erasure pattern")
-
-// ErrShard flags missing or ragged shards.
-var ErrShard = errors.New("gf16: invalid shards")
-
-// RS is a wide systematic Reed-Solomon code over GF(2^16): k data and m
-// parity shards of uint16 symbols, MDS for k+m ≤ 65536.
-type RS struct {
-	k, m int
-	// parityRows[r][j] is the coefficient of data shard j in parity r:
-	// a Cauchy block, so every square submatrix is invertible.
-	parityRows [][]uint16
-}
-
-// NewRS constructs a wide RS code.
-func NewRS(k, m int) (*RS, error) {
-	if k < 1 || m < 1 {
-		return nil, fmt.Errorf("gf16: invalid parameters k=%d m=%d", k, m)
-	}
-	if k+m > Order {
-		return nil, fmt.Errorf("gf16: k+m = %d exceeds field size", k+m)
-	}
-	rows := make([][]uint16, m)
-	for r := range rows {
-		rows[r] = make([]uint16, k)
-		for j := 0; j < k; j++ {
-			rows[r][j] = Inv(uint16(r+k) ^ uint16(j))
-		}
-	}
-	return &RS{k: k, m: m, parityRows: rows}, nil
-}
-
-// K returns the data shard count.
-func (c *RS) K() int { return c.k }
-
-// M returns the parity shard count.
-func (c *RS) M() int { return c.m }
-
-// Encode computes parity shards (uint16 symbol slices, equal lengths).
-func (c *RS) Encode(data [][]uint16) ([][]uint16, error) {
-	if len(data) != c.k {
-		return nil, fmt.Errorf("%w: got %d data shards, want %d", ErrShard, len(data), c.k)
-	}
-	size := -1
-	for i, d := range data {
-		if d == nil {
-			return nil, fmt.Errorf("%w: shard %d nil", ErrShard, i)
-		}
-		if size == -1 {
-			size = len(d)
-		}
-		if len(d) != size {
-			return nil, fmt.Errorf("%w: shard %d length %d, want %d", ErrShard, i, len(d), size)
-		}
-	}
-	parity := make([][]uint16, c.m)
-	for r := range parity {
-		parity[r] = make([]uint16, size)
-		for j, coeff := range c.parityRows[r] {
-			MulAddSlice(coeff, parity[r], data[j])
-		}
-	}
-	return parity, nil
-}
-
-// Reconstruct rebuilds nil shards in the length-(k+m) slice in place.
-func (c *RS) Reconstruct(shards [][]uint16) error {
-	n := c.k + c.m
-	if len(shards) != n {
-		return fmt.Errorf("%w: got %d shards, want %d", ErrShard, len(shards), n)
-	}
-	var avail, erased []int
-	size := -1
-	for i, s := range shards {
-		if s == nil {
-			erased = append(erased, i)
-			continue
-		}
-		if size == -1 {
-			size = len(s)
-		}
-		if len(s) != size {
-			return fmt.Errorf("%w: shard %d length %d, want %d", ErrShard, i, len(s), size)
-		}
-		avail = append(avail, i)
-	}
-	if len(erased) == 0 {
-		return nil
-	}
-	if len(avail) < c.k {
-		return fmt.Errorf("%w: %d survivors for k=%d", ErrUnrecoverable, len(avail), c.k)
-	}
-	// Solve for the data from the first k survivors, then re-encode.
-	use := avail[:c.k]
-	mat := make([][]uint16, c.k)
-	rhs := make([][]uint16, c.k)
-	for i, e := range use {
-		row := make([]uint16, c.k)
-		if e < c.k {
-			row[e] = 1
-		} else {
-			copy(row, c.parityRows[e-c.k])
-		}
-		mat[i] = row
-		rhs[i] = append([]uint16(nil), shards[e]...)
-	}
-	// Gaussian elimination over GF(2^16), applying ops to rhs vectors.
-	for col := 0; col < c.k; col++ {
-		pivot := -1
-		for r := col; r < c.k; r++ {
-			if mat[r][col] != 0 {
-				pivot = r
-				break
+	default:
+		lc := logTable[c]
+		for i, s := range src {
+			if s != 0 {
+				dst[i] ^= expTable[lc+logTable[s]]
 			}
 		}
-		if pivot < 0 {
-			return fmt.Errorf("%w: singular survivor matrix", ErrUnrecoverable)
-		}
-		mat[col], mat[pivot] = mat[pivot], mat[col]
-		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
-		inv := Inv(mat[col][col])
-		for j := col; j < c.k; j++ {
-			mat[col][j] = Mul(mat[col][j], inv)
-		}
-		for i := range rhs[col] {
-			rhs[col][i] = Mul(rhs[col][i], inv)
-		}
-		for r := 0; r < c.k; r++ {
-			if r == col || mat[r][col] == 0 {
-				continue
-			}
-			f := mat[r][col]
-			for j := col; j < c.k; j++ {
-				mat[r][j] ^= Mul(f, mat[col][j])
-			}
-			MulAddSlice(f, rhs[r], rhs[col])
-		}
 	}
-	// rhs now holds the data shards.
-	for _, e := range erased {
-		if e < c.k {
-			shards[e] = rhs[e]
-		}
-	}
-	// Recompute erased parity from (possibly just recovered) data.
-	data := make([][]uint16, c.k)
-	for j := 0; j < c.k; j++ {
-		if shards[j] != nil {
-			data[j] = shards[j]
-		} else {
-			data[j] = rhs[j]
-		}
-	}
-	for _, e := range erased {
-		if e >= c.k {
-			out := make([]uint16, size)
-			for j, coeff := range c.parityRows[e-c.k] {
-				MulAddSlice(coeff, out, data[j])
-			}
-			shards[e] = out
-		}
-	}
-	return nil
 }

@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 )
 
-// mulSlow is an independent bitwise oracle.
+// mulSlow is an independent bitwise (shift-and-reduce) oracle.
 func mulSlow(a, b uint16) uint16 {
 	var prod uint32
 	aa, bb := uint32(a), uint32(b)
@@ -66,6 +66,7 @@ func TestZeroHandling(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"Inv(0)":   func() { Inv(0) },
 		"Div(x,0)": func() { Div(3, 0) },
+		"Log(0)":   func() { Log(0) },
 	} {
 		func() {
 			defer func() {
@@ -96,22 +97,61 @@ func TestExp(t *testing.T) {
 	}
 }
 
-func TestMulAddSlice(t *testing.T) {
+// TestGeneratorIsPrimitive verifies 2 generates the full multiplicative
+// group, which the log/exp construction (and every Generator-based code
+// construction upstream) silently depends on.
+func TestGeneratorIsPrimitive(t *testing.T) {
+	seen := make([]bool, Order)
+	x := uint16(1)
+	for i := 0; i < Order-1; i++ {
+		if seen[x] {
+			t.Fatalf("generator cycle repeats at exponent %d", i)
+		}
+		seen[x] = true
+		if Generator(i) != x {
+			t.Fatalf("Generator(%d) = %#x, want %#x", i, Generator(i), x)
+		}
+		x = mulSlow(x, generator)
+	}
+	if x != 1 {
+		t.Fatal("generator order is not 65535")
+	}
+}
+
+func TestLogGeneratorRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	src := make([]uint16, 300)
-	dst := make([]uint16, 300)
-	orig := make([]uint16, 300)
-	for trial := 0; trial < 50; trial++ {
-		c := uint16(rng.Intn(Order))
+	for trial := 0; trial < 10000; trial++ {
+		a := uint16(1 + rng.Intn(Order-1))
+		if Generator(Log(a)) != a {
+			t.Fatalf("Generator(Log(%#x)) != %#x", a, a)
+		}
+	}
+	if Generator(-1) != Generator(Order-2) {
+		t.Fatal("negative Generator index wrong")
+	}
+}
+
+func TestRowKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []uint16{0, 1, 2, 0xff, 0x100, 0xabcd, 0xffff} {
+		src := make([]uint16, 37)
 		for i := range src {
 			src[i] = uint16(rng.Intn(Order))
-			dst[i] = uint16(rng.Intn(Order))
 		}
-		copy(orig, dst)
-		MulAddSlice(c, dst, src)
-		for i := range dst {
-			if dst[i] != orig[i]^Mul(c, src[i]) {
-				t.Fatalf("trial %d index %d wrong", trial, i)
+		src[0] = 0 // zero symbols take a branch
+		dst := make([]uint16, len(src))
+		MulRow(c, dst, src)
+		for i := range src {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("MulRow c=%#x i=%d: %#x != %#x", c, i, dst[i], Mul(c, src[i]))
+			}
+		}
+		acc := make([]uint16, len(src))
+		copy(acc, dst)
+		MulAddRow(c, acc, src)
+		for i := range src {
+			if acc[i] != dst[i]^Mul(c, src[i]) {
+				t.Fatalf("MulAddRow c=%#x i=%d mismatch", c, i)
 			}
 		}
 	}
@@ -120,127 +160,22 @@ func TestMulAddSlice(t *testing.T) {
 			t.Fatal("length mismatch did not panic")
 		}
 	}()
-	MulAddSlice(1, make([]uint16, 2), make([]uint16, 3))
+	MulRow(1, make([]uint16, 2), make([]uint16, 3))
 }
 
-func TestRSValidation(t *testing.T) {
-	for _, p := range [][2]int{{0, 1}, {1, 0}, {65000, 2000}} {
-		if _, err := NewRS(p[0], p[1]); err == nil {
-			t.Errorf("NewRS(%v) succeeded", p)
+func TestPackUnpackSymbols(t *testing.T) {
+	sym := []uint16{0, 1, 0xff, 0x100, 0xabcd, 0xffff}
+	b := PackSymbols(sym)
+	if len(b) != len(sym)*SymbolBytes {
+		t.Fatalf("packed length %d", len(b))
+	}
+	if b[8] != 0xcd || b[9] != 0xab {
+		t.Fatal("packing is not little-endian")
+	}
+	got := UnpackSymbols(b)
+	for i := range sym {
+		if got[i] != sym[i] {
+			t.Fatalf("round-trip broke at %d", i)
 		}
-	}
-}
-
-func TestWideRSRoundTrip(t *testing.T) {
-	// A stripe wider than GF(2^8) allows: 300 data + 20 parity shards.
-	c, err := NewRS(300, 20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(3))
-	data := make([][]uint16, 300)
-	for i := range data {
-		data[i] = make([]uint16, 16)
-		for j := range data[i] {
-			data[i][j] = uint16(rng.Intn(Order))
-		}
-	}
-	parity, err := c.Encode(data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	full := append(append([][]uint16{}, data...), parity...)
-	// Erase 20 random shards (the maximum).
-	shards := make([][]uint16, len(full))
-	for i, s := range full {
-		shards[i] = append([]uint16(nil), s...)
-	}
-	for _, e := range rng.Perm(320)[:20] {
-		shards[e] = nil
-	}
-	if err := c.Reconstruct(shards); err != nil {
-		t.Fatal(err)
-	}
-	for i := range shards {
-		for j := range shards[i] {
-			if shards[i][j] != full[i][j] {
-				t.Fatalf("shard %d symbol %d mismatch", i, j)
-			}
-		}
-	}
-}
-
-func TestRSSmallAllPatterns(t *testing.T) {
-	c, _ := NewRS(3, 2)
-	rng := rand.New(rand.NewSource(4))
-	data := make([][]uint16, 3)
-	for i := range data {
-		data[i] = []uint16{uint16(rng.Intn(Order)), uint16(rng.Intn(Order))}
-	}
-	parity, _ := c.Encode(data)
-	full := append(append([][]uint16{}, data...), parity...)
-	for mask := 1; mask < 32; mask++ {
-		cnt := 0
-		for i := 0; i < 5; i++ {
-			if mask>>i&1 == 1 {
-				cnt++
-			}
-		}
-		if cnt > 2 {
-			continue
-		}
-		shards := make([][]uint16, 5)
-		for i := range shards {
-			if mask>>i&1 == 0 {
-				shards[i] = append([]uint16(nil), full[i]...)
-			}
-		}
-		if err := c.Reconstruct(shards); err != nil {
-			t.Fatalf("mask %b: %v", mask, err)
-		}
-		for i := range shards {
-			for j := range shards[i] {
-				if shards[i][j] != full[i][j] {
-					t.Fatalf("mask %b shard %d mismatch", mask, i)
-				}
-			}
-		}
-	}
-}
-
-func TestRSTooManyErasures(t *testing.T) {
-	c, _ := NewRS(3, 2)
-	shards := make([][]uint16, 5)
-	shards[3] = []uint16{1}
-	shards[4] = []uint16{2}
-	if err := c.Reconstruct(shards); err == nil {
-		t.Fatal("3 erasures of (3,2) must fail")
-	}
-}
-
-func TestRSEncodeErrors(t *testing.T) {
-	c, _ := NewRS(2, 1)
-	if _, err := c.Encode([][]uint16{{1}}); err == nil {
-		t.Fatal("wrong shard count")
-	}
-	if _, err := c.Encode([][]uint16{{1}, nil}); err == nil {
-		t.Fatal("nil shard")
-	}
-	if _, err := c.Encode([][]uint16{{1}, {2, 3}}); err == nil {
-		t.Fatal("ragged shards")
-	}
-}
-
-func BenchmarkMulAddSlice16(b *testing.B) {
-	src := make([]uint16, 1<<19)
-	dst := make([]uint16, 1<<19)
-	rng := rand.New(rand.NewSource(5))
-	for i := range src {
-		src[i] = uint16(rng.Intn(Order))
-	}
-	b.SetBytes(1 << 20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MulAddSlice(0x1234, dst, src)
 	}
 }

@@ -1,0 +1,463 @@
+// Bulk slice kernels over GF(2^16) — the loops wide-stripe erasure coding
+// actually spends its time in. Symbols are packed little-endian into byte
+// slices, two bytes each, so these kernels speak the same [][]byte shard
+// currency as the GF(2^8) ones and every consumer of internal/gf can widen
+// without changing its buffer plumbing. Slice lengths must be even (whole
+// symbols); the kernels panic otherwise.
+//
+// Three implementations coexist, selected per call by slice length and CPU,
+// mirroring internal/gf's discipline:
+//
+//   - The *SIMD* kernels (amd64 with SSSE3/AVX2, see kernels16_amd64.go) use
+//     the 4×4-bit split-table trick: a 16-bit symbol is four nibbles, and
+//     c·x = c·n0 ^ c·(n1<<4) ^ c·(n2<<8) ^ c·(n3<<12), so eight 16-entry
+//     byte tables (low/high product byte per nibble position) and eight
+//     PSHUFBs produce a whole vector of products. The interleaved symbol
+//     bytes are split into low/high-byte vectors with pack instructions and
+//     re-interleaved with unpack ones on the way out.
+//
+//   - The *word-parallel* kernels process 8 bytes (4 symbols) per step in
+//     portable Go, gathering pre-shifted uint32 products from four
+//     per-coefficient byte-indexed tables (4 KiB per coefficient) so a word
+//     of products is assembled with XORs alone — the same structure as gf8's
+//     mulTable32 path.
+//
+//   - The *symbol-wise reference* kernels (…Ref) work straight off the
+//     log/exp tables. They remain the source of truth: the faster kernels
+//     fall back to them for short slices and tails, and the property/fuzz
+//     tests cross-check every kernel against them.
+//
+// GF(2^16) has 65536 coefficients, so unlike gf8 the product tables cannot
+// all be built at init (16 KiB × 65536 would be a gigabyte). Instead tables
+// are built on first use of a coefficient and memoized in a lock-free
+// pointer array: a generator matrix uses a small, fixed set of coefficients,
+// so a long-running store pays each build exactly once and the hot paths
+// stay allocation-free.
+package gf16
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// wordMin is the slice length below which the word-parallel kernels hand the
+// whole slice to the symbol-wise reference.
+const wordMin = 16
+
+// simdMin is the slice length below which the SIMD kernels are not worth the
+// vector setup; such slices take the word-parallel path instead.
+const simdMin = 64
+
+// Tables holds every lookup table the kernels need for one coefficient:
+// the eight 16-entry nibble tables the SIMD shuffle consumes (low and high
+// product byte for each of the four nibble positions) and the pre-shifted
+// word tables the portable kernel gathers from.
+type Tables struct {
+	// lo[j][v] and hi[j][v] are the low and high bytes of c·(v << 4j).
+	lo [4][16]byte
+	hi [4][16]byte
+	// w[p][h][b] = uint32(c·(b << 8h)) << 16p: the product of byte b placed
+	// at byte position h of its symbol, pre-shifted to symbol position p of
+	// a uint32 pair. A uint64 (4 symbols) is assembled from two uint32
+	// halves with 8 lookups, exactly like gf8's mulTable32 path.
+	w [2][2][256]uint32
+}
+
+// tableCache memoizes one *Tables per coefficient. A flat array of atomic
+// pointers (512 KiB of BSS) rather than a map: reads are lock-free and
+// allocation-free, which the zero-allocation encode path requires, and
+// concurrent builders for the same coefficient simply produce identical
+// tables.
+var tableCache [Order]atomic.Pointer[Tables]
+
+// LookupTables returns the memoized kernel tables for coefficient c,
+// building them on first use. The returned tables are shared and must not
+// be modified.
+func LookupTables(c uint16) *Tables {
+	if t := tableCache[c].Load(); t != nil {
+		return t
+	}
+	t := buildTables(c)
+	tableCache[c].Store(t)
+	return t
+}
+
+func buildTables(c uint16) *Tables {
+	t := new(Tables)
+	for j := 0; j < 4; j++ {
+		for v := 0; v < 16; v++ {
+			p := Mul(c, uint16(v)<<(4*j))
+			t.lo[j][v] = byte(p)
+			t.hi[j][v] = byte(p >> 8)
+		}
+	}
+	for b := 0; b < 256; b++ {
+		pl := uint32(Mul(c, uint16(b)))
+		ph := uint32(Mul(c, uint16(b)<<8))
+		t.w[0][0][b] = pl
+		t.w[0][1][b] = ph
+		t.w[1][0][b] = pl << 16
+		t.w[1][1][b] = ph << 16
+	}
+	return t
+}
+
+// SIMDEnabled reports whether the public kernels route long slices to the
+// vector (SIMD) implementation on this CPU; otherwise the portable
+// word-parallel path is the fast path.
+func SIMDEnabled() bool { return simdEnabled }
+
+func checkPair(op string, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf16: %s length mismatch %d != %d", op, len(dst), len(src)))
+	}
+	if len(dst)%SymbolBytes != 0 {
+		panic(fmt.Sprintf("gf16: %s length %d not a whole number of symbols", op, len(dst)))
+	}
+}
+
+// AddSlice sets dst[i] ^= src[i]. Lengths must match and be even. XOR is
+// position-wise in any characteristic-2 field, so the body is shared with
+// gf8's word-parallel XOR discipline.
+func AddSlice(dst, src []byte) {
+	checkPair("AddSlice", dst, src)
+	n := 0
+	for ; n+8 <= len(dst); n += 8 {
+		binary.LittleEndian.PutUint64(dst[n:], binary.LittleEndian.Uint64(dst[n:])^binary.LittleEndian.Uint64(src[n:]))
+	}
+	for ; n < len(dst); n++ {
+		dst[n] ^= src[n]
+	}
+}
+
+// AddSliceRef is the symbol-wise reference implementation of AddSlice.
+func AddSliceRef(dst, src []byte) {
+	checkPair("AddSlice", dst, src)
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorSlice sets dst[i] = a[i] ^ b[i]. All three slices must share one even
+// length. dst may alias a or b.
+func XorSlice(dst, a, b []byte) {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		panic(fmt.Sprintf("gf16: XorSlice length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	if len(dst)%SymbolBytes != 0 {
+		panic(fmt.Sprintf("gf16: XorSlice length %d not a whole number of symbols", len(dst)))
+	}
+	n := 0
+	for ; n+8 <= len(dst); n += 8 {
+		binary.LittleEndian.PutUint64(dst[n:], binary.LittleEndian.Uint64(a[n:])^binary.LittleEndian.Uint64(b[n:]))
+	}
+	for ; n < len(dst); n++ {
+		dst[n] = a[n] ^ b[n]
+	}
+}
+
+// MulSlice sets dst = c·src symbol-wise. Lengths must match and be even.
+// c == 0 zeroes dst; c == 1 copies. dst may alias src.
+func MulSlice(c uint16, dst, src []byte) {
+	checkPair("MulSlice", dst, src)
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		if len(src) < wordMin {
+			mulSliceRefBody(c, dst, src)
+			return
+		}
+		t := LookupTables(c)
+		if simdEnabled && len(src) >= simdMin {
+			mulSliceSIMD(t, dst, src)
+			return
+		}
+		mulSliceWord(t, dst, src)
+	}
+}
+
+// MulSliceRef is the symbol-wise reference implementation of MulSlice,
+// working straight off the log/exp tables.
+func MulSliceRef(c uint16, dst, src []byte) {
+	checkPair("MulSlice", dst, src)
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		mulSliceRefBody(c, dst, src)
+	}
+}
+
+func mulSliceRefBody(c uint16, dst, src []byte) {
+	lc := logTable[c]
+	for i := 0; i+2 <= len(src); i += 2 {
+		s := uint16(src[i]) | uint16(src[i+1])<<8
+		var p uint16
+		if s != 0 {
+			p = expTable[lc+logTable[s]]
+		}
+		dst[i] = byte(p)
+		dst[i+1] = byte(p >> 8)
+	}
+}
+
+// mulSliceWord is the word-parallel multiply body: c must be ≥ 2 and
+// len(dst) ≥ wordMin (callers dispatch).
+func mulSliceWord(t *Tables, dst, src []byte) {
+	n := len(src) &^ 15
+	for i := 0; i+16 <= n; i += 16 {
+		s := src[i : i+16 : i+16]
+		lo1 := t.w[0][0][s[0]] ^ t.w[0][1][s[1]] ^ t.w[1][0][s[2]] ^ t.w[1][1][s[3]]
+		hi1 := t.w[0][0][s[4]] ^ t.w[0][1][s[5]] ^ t.w[1][0][s[6]] ^ t.w[1][1][s[7]]
+		lo2 := t.w[0][0][s[8]] ^ t.w[0][1][s[9]] ^ t.w[1][0][s[10]] ^ t.w[1][1][s[11]]
+		hi2 := t.w[0][0][s[12]] ^ t.w[0][1][s[13]] ^ t.w[1][0][s[14]] ^ t.w[1][1][s[15]]
+		binary.LittleEndian.PutUint64(dst[i:], uint64(lo1)|uint64(hi1)<<32)
+		binary.LittleEndian.PutUint64(dst[i+8:], uint64(lo2)|uint64(hi2)<<32)
+	}
+	if n < len(dst) {
+		wordTail(t, dst[n:], src[n:], true)
+	}
+}
+
+// MulAddSlice sets dst ^= c·src symbol-wise. Lengths must match and be even.
+// This is the inner kernel of wide-stripe matrix-vector encoding.
+func MulAddSlice(c uint16, dst, src []byte) {
+	checkPair("MulAddSlice", dst, src)
+	switch c {
+	case 0:
+		// no-op
+	case 1:
+		AddSlice(dst, src)
+	default:
+		if len(src) < wordMin {
+			mulAddSliceRefBody(c, dst, src)
+			return
+		}
+		t := LookupTables(c)
+		if simdEnabled && len(src) >= simdMin {
+			mulAddSliceSIMD(t, dst, src)
+			return
+		}
+		mulAddSliceWord(t, dst, src)
+	}
+}
+
+// MulAddSliceRef is the symbol-wise reference implementation of MulAddSlice.
+func MulAddSliceRef(c uint16, dst, src []byte) {
+	checkPair("MulAddSlice", dst, src)
+	switch c {
+	case 0:
+	case 1:
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+	default:
+		mulAddSliceRefBody(c, dst, src)
+	}
+}
+
+func mulAddSliceRefBody(c uint16, dst, src []byte) {
+	lc := logTable[c]
+	for i := 0; i+2 <= len(src); i += 2 {
+		s := uint16(src[i]) | uint16(src[i+1])<<8
+		if s != 0 {
+			p := expTable[lc+logTable[s]]
+			dst[i] ^= byte(p)
+			dst[i+1] ^= byte(p >> 8)
+		}
+	}
+}
+
+// mulAddSliceWord is the word-parallel multiply-accumulate body: c must be
+// ≥ 2 and len(dst) ≥ wordMin (callers dispatch).
+func mulAddSliceWord(t *Tables, dst, src []byte) {
+	n := len(src) &^ 15
+	for i := 0; i+16 <= n; i += 16 {
+		s := src[i : i+16 : i+16]
+		lo1 := t.w[0][0][s[0]] ^ t.w[0][1][s[1]] ^ t.w[1][0][s[2]] ^ t.w[1][1][s[3]]
+		hi1 := t.w[0][0][s[4]] ^ t.w[0][1][s[5]] ^ t.w[1][0][s[6]] ^ t.w[1][1][s[7]]
+		lo2 := t.w[0][0][s[8]] ^ t.w[0][1][s[9]] ^ t.w[1][0][s[10]] ^ t.w[1][1][s[11]]
+		hi2 := t.w[0][0][s[12]] ^ t.w[0][1][s[13]] ^ t.w[1][0][s[14]] ^ t.w[1][1][s[15]]
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^(uint64(lo1)|uint64(hi1)<<32))
+		binary.LittleEndian.PutUint64(dst[i+8:], binary.LittleEndian.Uint64(dst[i+8:])^(uint64(lo2)|uint64(hi2)<<32))
+	}
+	if n < len(dst) {
+		wordTail(t, dst[n:], src[n:], false)
+	}
+}
+
+// wordTail finishes the sub-16-byte remainder of a word kernel using the
+// already-fetched tables (one symbol at a time; at most 7 symbols).
+func wordTail(t *Tables, dst, src []byte, overwrite bool) {
+	for i := 0; i+2 <= len(src); i += 2 {
+		p := t.w[0][0][src[i]] ^ t.w[0][1][src[i+1]]
+		if overwrite {
+			dst[i] = byte(p)
+			dst[i+1] = byte(p >> 8)
+		} else {
+			dst[i] ^= byte(p)
+			dst[i+1] ^= byte(p >> 8)
+		}
+	}
+}
+
+// mulAdd2 computes dst = c1·a ^ c2·b when overwrite is true, or
+// dst ^= c1·a ^ c2·b otherwise, one pass over memory for both sources — the
+// fused pair that keeps the portable dot product ahead of the reference by
+// halving destination traffic. All slices share one length (callers
+// validate); t1/t2 are the coefficients' tables.
+func mulAdd2(t1, t2 *Tables, dst, a, b []byte, overwrite bool) {
+	n := len(dst) &^ 7
+	for i := 0; i+8 <= n; i += 8 {
+		s1 := a[i : i+8 : i+8]
+		s2 := b[i : i+8 : i+8]
+		lo := t1.w[0][0][s1[0]] ^ t1.w[0][1][s1[1]] ^ t1.w[1][0][s1[2]] ^ t1.w[1][1][s1[3]] ^
+			t2.w[0][0][s2[0]] ^ t2.w[0][1][s2[1]] ^ t2.w[1][0][s2[2]] ^ t2.w[1][1][s2[3]]
+		hi := t1.w[0][0][s1[4]] ^ t1.w[0][1][s1[5]] ^ t1.w[1][0][s1[6]] ^ t1.w[1][1][s1[7]] ^
+			t2.w[0][0][s2[4]] ^ t2.w[0][1][s2[5]] ^ t2.w[1][0][s2[6]] ^ t2.w[1][1][s2[7]]
+		r := uint64(lo) | uint64(hi)<<32
+		if overwrite {
+			binary.LittleEndian.PutUint64(dst[i:], r)
+		} else {
+			binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^r)
+		}
+	}
+	for i := n; i+2 <= len(dst); i += 2 {
+		p := t1.w[0][0][a[i]] ^ t1.w[0][1][a[i+1]] ^ t2.w[0][0][b[i]] ^ t2.w[0][1][b[i+1]]
+		if overwrite {
+			dst[i] = byte(p)
+			dst[i+1] = byte(p >> 8)
+		} else {
+			dst[i] ^= byte(p)
+			dst[i+1] ^= byte(p >> 8)
+		}
+	}
+}
+
+// DotSlice computes the dot product sum_i coeffs[i]·vecs[i] into dst,
+// overwriting dst. All vecs must share dst's (even) length; len(coeffs)
+// must equal len(vecs). dst must not alias any vec except vecs[0]. This is
+// the multiply-accumulate kernel behind wide-stripe matrix encoding and
+// erasure decoding.
+func DotSlice(dst []byte, coeffs []uint16, vecs [][]byte) {
+	if len(coeffs) != len(vecs) {
+		panic(fmt.Sprintf("gf16: DotSlice arity mismatch %d != %d", len(coeffs), len(vecs)))
+	}
+	for j, v := range vecs {
+		if len(v) != len(dst) {
+			panic(fmt.Sprintf("gf16: DotSlice vec %d has %d bytes, want %d", j, len(v), len(dst)))
+		}
+	}
+	if len(dst)%SymbolBytes != 0 {
+		panic(fmt.Sprintf("gf16: DotSlice length %d not a whole number of symbols", len(dst)))
+	}
+	if len(coeffs) == 0 {
+		clear(dst)
+		return
+	}
+	if len(dst) < wordMin {
+		DotSliceRef(dst, coeffs, vecs)
+		return
+	}
+	if simdEnabled && len(dst) >= simdMin {
+		// One vector multiply pass per source: at SIMD speeds the extra
+		// destination traffic of unfused passes is cheaper than falling back
+		// to the scalar pairwise kernel.
+		MulSlice(coeffs[0], dst, vecs[0])
+		for j := 1; j < len(coeffs); j++ {
+			MulAddSlice(coeffs[j], dst, vecs[j])
+		}
+		return
+	}
+	dotSliceWord(dst, coeffs, vecs)
+}
+
+// dotSliceWord is the portable dot-product body: sources are consumed in
+// fused pairs (see mulAdd2), the first pass overwriting dst. len(coeffs)
+// must be ≥ 1 and len(dst) ≥ wordMin (callers dispatch).
+func dotSliceWord(dst []byte, coeffs []uint16, vecs [][]byte) {
+	j := 0
+	overwrite := true
+	for ; j+2 <= len(coeffs); j += 2 {
+		c1, c2 := coeffs[j], coeffs[j+1]
+		// The 0/1 coefficients have no gain from fusing; let the dispatching
+		// kernels take their fast paths instead.
+		if c1 < 2 || c2 < 2 {
+			break
+		}
+		mulAdd2(LookupTables(c1), LookupTables(c2), dst, vecs[j], vecs[j+1], overwrite)
+		overwrite = false
+	}
+	for ; j < len(coeffs); j++ {
+		if overwrite {
+			mulSliceDispatchWord(coeffs[j], dst, vecs[j])
+			overwrite = false
+		} else {
+			mulAddSliceDispatchWord(coeffs[j], dst, vecs[j])
+		}
+	}
+}
+
+// mulSliceDispatchWord handles the 0/1 fast paths then the word body —
+// MulSlice without the SIMD branch, so dotSliceWord stays a pure word-path
+// kernel for tests and non-SIMD builds.
+func mulSliceDispatchWord(c uint16, dst, src []byte) {
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		mulSliceWord(LookupTables(c), dst, src)
+	}
+}
+
+func mulAddSliceDispatchWord(c uint16, dst, src []byte) {
+	switch c {
+	case 0:
+	case 1:
+		AddSlice(dst, src)
+	default:
+		mulAddSliceWord(LookupTables(c), dst, src)
+	}
+}
+
+// DotSliceRef is the symbol-wise reference implementation of DotSlice: zero
+// the destination, then one reference multiply-accumulate pass per source.
+func DotSliceRef(dst []byte, coeffs []uint16, vecs [][]byte) {
+	if len(coeffs) != len(vecs) {
+		panic(fmt.Sprintf("gf16: DotSlice arity mismatch %d != %d", len(coeffs), len(vecs)))
+	}
+	clear(dst)
+	for j, c := range coeffs {
+		MulAddSliceRef(c, dst, vecs[j])
+	}
+}
+
+// PackSymbols packs uint16 symbols little-endian into a fresh byte slice —
+// the bridge between symbol-level tests/tools and the packed kernels.
+func PackSymbols(sym []uint16) []byte {
+	out := make([]byte, len(sym)*SymbolBytes)
+	for i, s := range sym {
+		binary.LittleEndian.PutUint16(out[i*SymbolBytes:], s)
+	}
+	return out
+}
+
+// UnpackSymbols is the inverse of PackSymbols. The byte length must be even.
+func UnpackSymbols(b []byte) []uint16 {
+	if len(b)%SymbolBytes != 0 {
+		panic(fmt.Sprintf("gf16: UnpackSymbols length %d not a whole number of symbols", len(b)))
+	}
+	out := make([]uint16, len(b)/SymbolBytes)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(b[i*SymbolBytes:])
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+//go:build amd64
+
+package gf16
+
+// SIMD kernel selection for amd64. The assembly in kernels16_amd64.s
+// implements the 4×4-bit split-table multiply for 16-bit symbols: the
+// interleaved low/high symbol bytes are separated with word shifts and a
+// saturating pack, each of the four nibbles selects from its own 16-entry
+// product-byte table via PSHUFB (once for the product's low byte, once for
+// its high byte), the eight shuffles XOR together, and byte unpacks
+// re-interleave the result — a whole vector of GF(2^16) products per loop.
+
+// Implemented in kernels16_amd64.s.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+func gf16MulSSSE3(lo, hi *[4][16]byte, dst, src *byte, n int)
+func gf16MulAddSSSE3(lo, hi *[4][16]byte, dst, src *byte, n int)
+func gf16MulAVX2(lo, hi *[4][16]byte, dst, src *byte, n int)
+func gf16MulAddAVX2(lo, hi *[4][16]byte, dst, src *byte, n int)
+
+var (
+	hasSSSE3    bool
+	hasAVX2     bool
+	simdEnabled bool
+)
+
+func init() {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	hasSSSE3 = ecx1&(1<<9) != 0
+	// AVX2 needs the CPU flag plus OS support for YMM state (OSXSAVE set and
+	// XCR0 reporting XMM|YMM enabled).
+	const osxsaveAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAVX == osxsaveAVX && maxID >= 7 {
+		if xlo, _ := xgetbv0(); xlo&6 == 6 {
+			_, ebx7, _, _ := cpuidex(7, 0)
+			hasAVX2 = ebx7&(1<<5) != 0
+		}
+	}
+	simdEnabled = hasSSSE3 || hasAVX2
+}
+
+// mulSliceSIMD computes dst = c·src with the vector kernel; the
+// coefficient's tables are already fetched and len(dst) ≥ simdMin (callers
+// dispatch). The vector body covers the largest 64- or 32-byte-aligned
+// prefix; the word-parallel kernel finishes the tail.
+func mulSliceSIMD(t *Tables, dst, src []byte) {
+	var n int
+	if hasAVX2 {
+		n = len(dst) &^ 63
+		gf16MulAVX2(&t.lo, &t.hi, &dst[0], &src[0], n)
+	} else {
+		n = len(dst) &^ 31
+		gf16MulSSSE3(&t.lo, &t.hi, &dst[0], &src[0], n)
+	}
+	if n < len(dst) {
+		mulSliceWord(t, dst[n:], src[n:])
+	}
+}
+
+// mulAddSliceSIMD computes dst ^= c·src with the vector kernel; same
+// contract as mulSliceSIMD.
+func mulAddSliceSIMD(t *Tables, dst, src []byte) {
+	var n int
+	if hasAVX2 {
+		n = len(dst) &^ 63
+		gf16MulAddAVX2(&t.lo, &t.hi, &dst[0], &src[0], n)
+	} else {
+		n = len(dst) &^ 31
+		gf16MulAddSSSE3(&t.lo, &t.hi, &dst[0], &src[0], n)
+	}
+	if n < len(dst) {
+		mulAddSliceWord(t, dst[n:], src[n:])
+	}
+}

@@ -1,0 +1,247 @@
+// GF(2^16) bulk multiply kernels for amd64: 4×4-bit split product tables
+// applied with the vector byte shuffle. Symbols are little-endian 16-bit
+// words; a block of them is first split into a vector L of low symbol bytes
+// and a vector H of high symbol bytes (word shifts + saturating pack), then
+// each of the four nibbles n0..n3 of every symbol selects from two 16-entry
+// tables — lo[j][n] and hi[j][n], the low and high bytes of c·(n << 4j) —
+// so eight PSHUFBs and six XORs produce the low and high product bytes of
+// every lane at once. Byte unpacks re-interleave the two halves into
+// little-endian order on the way out. The per-128-bit-lane behaviour of
+// AVX2 pack/unpack cancels: lanes come back out in the order they went in.
+//
+// Callers guarantee n > 0 and n a multiple of the block size (32 bytes for
+// SSSE3, 64 for AVX2).
+
+#include "textflag.h"
+
+DATA nib16<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nib16<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nib16<>(SB), RODATA|NOPTR, $16
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// Operand loads shared by all four bodies (vet's asmdecl check cannot see
+// FP references through macros, so each TEXT carries these five lines
+// inline). LOAD_TABLES_SSE then parks the eight 16-entry nibble tables in
+// X8..X15 for the whole loop (lo[0..3] then hi[0..3]).
+#define LOAD_TABLES_SSE \
+	MOVOU (AX), X8    \
+	MOVOU 16(AX), X9  \
+	MOVOU 32(AX), X10 \
+	MOVOU 48(AX), X11 \
+	MOVOU (BX), X12   \
+	MOVOU 16(BX), X13 \
+	MOVOU 32(BX), X14 \
+	MOVOU 48(BX), X15
+
+// One 32-byte (16-symbol) SSSE3 product block: consumes X0/X1 = the two
+// input vectors, leaves the re-interleaved products in X0 (bytes 0..15)
+// and X5 (bytes 16..31). Clobbers X0..X7.
+#define PRODUCT_BLOCK_SSE \
+	MOVOU  X0, X2            \ // L = low symbol bytes of both vectors
+	PSLLW  $8, X2            \
+	PSRLW  $8, X2            \
+	MOVOU  X1, X3            \
+	PSLLW  $8, X3            \
+	PSRLW  $8, X3            \
+	PACKUSWB X3, X2          \
+	MOVOU  X0, X3            \ // H = high symbol bytes of both vectors
+	PSRLW  $8, X3            \
+	PSRLW  $8, X1            \
+	PACKUSWB X1, X3          \
+	MOVOU  X2, X4            \ // n0 = L & 0x0f
+	PAND   nib16<>(SB), X4   \
+	MOVOU  X8, X5            \
+	PSHUFB X4, X5            \ // rlo  = lo[0][n0]
+	MOVOU  X12, X6           \
+	PSHUFB X4, X6            \ // rhi  = hi[0][n0]
+	PSRLW  $4, X2            \ // n1 = (L >> 4) & 0x0f
+	PAND   nib16<>(SB), X2   \
+	MOVOU  X9, X7            \
+	PSHUFB X2, X7            \
+	PXOR   X7, X5            \ // rlo ^= lo[1][n1]
+	MOVOU  X13, X7           \
+	PSHUFB X2, X7            \
+	PXOR   X7, X6            \ // rhi ^= hi[1][n1]
+	MOVOU  X3, X4            \ // n2 = H & 0x0f
+	PAND   nib16<>(SB), X4   \
+	MOVOU  X10, X7           \
+	PSHUFB X4, X7            \
+	PXOR   X7, X5            \ // rlo ^= lo[2][n2]
+	MOVOU  X14, X7           \
+	PSHUFB X4, X7            \
+	PXOR   X7, X6            \ // rhi ^= hi[2][n2]
+	PSRLW  $4, X3            \ // n3 = (H >> 4) & 0x0f
+	PAND   nib16<>(SB), X3   \
+	MOVOU  X11, X7           \
+	PSHUFB X3, X7            \
+	PXOR   X7, X5            \ // rlo ^= lo[3][n3]
+	MOVOU  X15, X7           \
+	PSHUFB X3, X7            \
+	PXOR   X7, X6            \ // rhi ^= hi[3][n3]
+	MOVOU  X5, X0            \ // re-interleave lo/hi product bytes
+	PUNPCKLBW X6, X0         \ // symbols 0..7
+	PUNPCKHBW X6, X5         \ // symbols 8..15
+
+// func gf16MulSSSE3(lo, hi *[4][16]byte, dst, src *byte, n int)
+// dst = products of src; n % 32 == 0, n > 0.
+TEXT ·gf16MulSSSE3(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	LOAD_TABLES_SSE
+
+mulLoop:
+	MOVOU (SI), X0
+	MOVOU 16(SI), X1
+	PRODUCT_BLOCK_SSE
+	MOVOU X0, (DI)
+	MOVOU X5, 16(DI)
+	ADDQ  $32, SI
+	ADDQ  $32, DI
+	SUBQ  $32, CX
+	JNE   mulLoop
+	RET
+
+// func gf16MulAddSSSE3(lo, hi *[4][16]byte, dst, src *byte, n int)
+// dst ^= products of src; n % 32 == 0, n > 0.
+TEXT ·gf16MulAddSSSE3(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	LOAD_TABLES_SSE
+
+mulAddLoop:
+	MOVOU (SI), X0
+	MOVOU 16(SI), X1
+	PRODUCT_BLOCK_SSE
+	MOVOU (DI), X7
+	PXOR  X7, X0
+	MOVOU 16(DI), X7
+	PXOR  X7, X5
+	MOVOU X0, (DI)
+	MOVOU X5, 16(DI)
+	ADDQ  $32, SI
+	ADDQ  $32, DI
+	SUBQ  $32, CX
+	JNE   mulAddLoop
+	RET
+
+// Table preamble shared by the AVX2 bodies: each 16-entry table is
+// broadcast to both 128-bit lanes of Y8..Y15; the nibble mask lives in Y7.
+#define LOAD_TABLES_AVX2 \
+	VBROADCASTI128 (AX), Y8        \
+	VBROADCASTI128 16(AX), Y9      \
+	VBROADCASTI128 32(AX), Y10     \
+	VBROADCASTI128 48(AX), Y11     \
+	VBROADCASTI128 (BX), Y12       \
+	VBROADCASTI128 16(BX), Y13     \
+	VBROADCASTI128 32(BX), Y14     \
+	VBROADCASTI128 48(BX), Y15     \
+	VBROADCASTI128 nib16<>(SB), Y7
+
+// One 64-byte (32-symbol) AVX2 product block: consumes Y0/Y1 = the two
+// input vectors, leaves the re-interleaved products in Y0 (bytes 0..31)
+// and Y1 (bytes 32..63). The per-lane pack here and per-lane unpack at the
+// end apply inverse byte permutations, so no cross-lane fixup is needed.
+// Clobbers Y0..Y6.
+#define PRODUCT_BLOCK_AVX2 \
+	VPSLLW $8, Y0, Y2        \ // L = low symbol bytes of both vectors
+	VPSRLW $8, Y2, Y2        \
+	VPSLLW $8, Y1, Y3        \
+	VPSRLW $8, Y3, Y3        \
+	VPACKUSWB Y3, Y2, Y2     \
+	VPSRLW $8, Y0, Y3        \ // H = high symbol bytes of both vectors
+	VPSRLW $8, Y1, Y1        \
+	VPACKUSWB Y1, Y3, Y3     \
+	VPAND  Y7, Y2, Y4        \ // n0 = L & 0x0f
+	VPSHUFB Y4, Y8, Y5       \ // rlo  = lo[0][n0]
+	VPSHUFB Y4, Y12, Y6      \ // rhi  = hi[0][n0]
+	VPSRLW $4, Y2, Y2        \ // n1 = (L >> 4) & 0x0f
+	VPAND  Y7, Y2, Y2        \
+	VPSHUFB Y2, Y9, Y4       \
+	VPXOR  Y4, Y5, Y5        \ // rlo ^= lo[1][n1]
+	VPSHUFB Y2, Y13, Y4      \
+	VPXOR  Y4, Y6, Y6        \ // rhi ^= hi[1][n1]
+	VPAND  Y7, Y3, Y4        \ // n2 = H & 0x0f
+	VPSHUFB Y4, Y10, Y0      \
+	VPXOR  Y0, Y5, Y5        \ // rlo ^= lo[2][n2]
+	VPSHUFB Y4, Y14, Y0      \
+	VPXOR  Y0, Y6, Y6        \ // rhi ^= hi[2][n2]
+	VPSRLW $4, Y3, Y3        \ // n3 = (H >> 4) & 0x0f
+	VPAND  Y7, Y3, Y3        \
+	VPSHUFB Y3, Y11, Y0      \
+	VPXOR  Y0, Y5, Y5        \ // rlo ^= lo[3][n3]
+	VPSHUFB Y3, Y15, Y0      \
+	VPXOR  Y0, Y6, Y6        \ // rhi ^= hi[3][n3]
+	VPUNPCKLBW Y6, Y5, Y0    \ // re-interleave: symbols 0..7 | 8..15
+	VPUNPCKHBW Y6, Y5, Y1    \ // symbols 16..23 | 24..31
+
+// func gf16MulAVX2(lo, hi *[4][16]byte, dst, src *byte, n int)
+// dst = products of src; n % 64 == 0, n > 0.
+TEXT ·gf16MulAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	LOAD_TABLES_AVX2
+
+mulLoopAVX2:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	PRODUCT_BLOCK_AVX2
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JNE     mulLoopAVX2
+	VZEROUPPER
+	RET
+
+// func gf16MulAddAVX2(lo, hi *[4][16]byte, dst, src *byte, n int)
+// dst ^= products of src; n % 64 == 0, n > 0.
+TEXT ·gf16MulAddAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ src+24(FP), SI
+	MOVQ n+32(FP), CX
+	LOAD_TABLES_AVX2
+
+mulAddLoopAVX2:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	PRODUCT_BLOCK_AVX2
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JNE     mulAddLoopAVX2
+	VZEROUPPER
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package gf16
+
+// Pure-Go build: no vector kernels, the word-parallel path is the fast path.
+const simdEnabled = false
+
+func mulSliceSIMD(t *Tables, dst, src []byte)    { mulSliceWord(t, dst, src) }
+func mulAddSliceSIMD(t *Tables, dst, src []byte) { mulAddSliceWord(t, dst, src) }

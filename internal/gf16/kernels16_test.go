@@ -1,0 +1,382 @@
+package gf16
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// testLengths exercises the empty case, sub-word slices, exact word/stride
+// multiples, and odd tails around every unroll boundary in the kernels —
+// all even, since slices hold whole 2-byte symbols.
+var testLengths = []int{0, 2, 4, 6, 8, 14, 16, 18, 24, 30, 32, 34, 62, 64, 66, 100, 126, 128, 130, 254, 256, 258, 1000}
+
+// unaligned returns an even-length slice of n random bytes whose backing
+// data starts at the given byte offset from an allocation boundary, so
+// kernels are exercised on pointers with every alignment mod 8.
+func unaligned(rng *rand.Rand, n, off int) []byte {
+	b := make([]byte, n+off)
+	rng.Read(b)
+	return b[off : off+n]
+}
+
+// testCoeffs is the coefficient sample the kernel tests sweep: GF(2^16) is
+// too large to sweep exhaustively the way the gf8 suite does, so cover the
+// special cases (0, 1), boundary patterns, early generator powers, and a
+// seeded random spread across the field.
+func testCoeffs(rng *rand.Rand, extra int) []uint16 {
+	cs := []uint16{0, 1, 2, 3, 0x00ff, 0x0100, 0x0101, 0x1001, 0x8000, 0xfffe, 0xffff}
+	for i := 1; i < 32; i++ {
+		cs = append(cs, Generator(i*7))
+	}
+	for i := 0; i < extra; i++ {
+		cs = append(cs, uint16(1+rng.Intn(Order-1)))
+	}
+	return cs
+}
+
+func TestAddSliceMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range testLengths {
+		for off := 0; off < 8; off++ {
+			src := unaligned(rng, n, off)
+			dst := unaligned(rng, n, (off+3)%8)
+			want := append([]byte(nil), dst...)
+			AddSliceRef(want, src)
+			AddSlice(dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("AddSlice n=%d off=%d: mismatch", n, off)
+			}
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range testLengths {
+		for off := 0; off < 8; off++ {
+			a := unaligned(rng, n, off)
+			b := unaligned(rng, n, (off+5)%8)
+			dst := make([]byte, n)
+			XorSlice(dst, a, b)
+			for i := range dst {
+				if dst[i] != a[i]^b[i] {
+					t.Fatalf("XorSlice n=%d off=%d i=%d: %#x != %#x", n, off, i, dst[i], a[i]^b[i])
+				}
+			}
+			// Aliased destination.
+			want := append([]byte(nil), dst...)
+			XorSlice(a, a, b)
+			if !bytes.Equal(a, want) {
+				t.Fatalf("XorSlice aliased n=%d off=%d: mismatch", n, off)
+			}
+		}
+	}
+}
+
+// TestRefKernelsMatchScalarMul pins the reference kernels themselves to the
+// scalar field: everything else in the package is verified against the
+// references, so they must be verified against Mul.
+func TestRefKernelsMatchScalarMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range testCoeffs(rng, 100) {
+		sym := make([]uint16, 41)
+		for i := range sym {
+			sym[i] = uint16(rng.Intn(Order))
+		}
+		sym[0] = 0
+		src := PackSymbols(sym)
+		dst := make([]byte, len(src))
+		MulSliceRef(c, dst, src)
+		got := UnpackSymbols(dst)
+		for i := range sym {
+			if got[i] != Mul(c, sym[i]) {
+				t.Fatalf("MulSliceRef c=%#x sym=%d: %#x != %#x", c, i, got[i], Mul(c, sym[i]))
+			}
+		}
+		prev := UnpackSymbols(dst)
+		MulAddSliceRef(c, dst, src)
+		got = UnpackSymbols(dst)
+		for i := range sym {
+			if got[i] != prev[i]^Mul(c, sym[i]) {
+				t.Fatalf("MulAddSliceRef c=%#x sym=%d mismatch", c, i)
+			}
+		}
+	}
+}
+
+// TestMulKernelsMatchRef sweeps the public dispatchers (whichever path they
+// pick — SIMD on capable hosts, word-parallel otherwise) against the
+// symbol-wise reference over the coefficient sample, odd-tail lengths, and
+// unaligned offsets.
+func TestMulKernelsMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range testCoeffs(rng, 200) {
+		for _, n := range testLengths {
+			off := (int(c) + n) % 8
+			src := unaligned(rng, n, off)
+
+			dst := unaligned(rng, n, (off+1)%8)
+			want := append([]byte(nil), dst...)
+			MulSliceRef(c, want, src)
+			MulSlice(c, dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice c=%#x n=%d: mismatch", c, n)
+			}
+
+			dst = unaligned(rng, n, (off+2)%8)
+			want = append([]byte(nil), dst...)
+			MulAddSliceRef(c, want, src)
+			MulAddSlice(c, dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSlice c=%#x n=%d: mismatch", c, n)
+			}
+		}
+	}
+}
+
+// TestWordKernelsMatchRef pins the portable word-parallel bodies directly:
+// on SIMD-capable hosts the public kernels route long slices to the vector
+// path, so without this the word loops would only ever see short inputs.
+func TestWordKernelsMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lengths := []int{16, 18, 30, 32, 34, 64, 100, 258, 1000}
+	for _, c := range testCoeffs(rng, 200) {
+		if c < 2 {
+			continue
+		}
+		t16 := LookupTables(c)
+		for _, n := range lengths {
+			off := (int(c) + n) % 8
+			src := unaligned(rng, n, off)
+
+			dst := unaligned(rng, n, (off+1)%8)
+			want := append([]byte(nil), dst...)
+			MulSliceRef(c, want, src)
+			mulSliceWord(t16, dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulSliceWord c=%#x n=%d: mismatch", c, n)
+			}
+
+			dst = unaligned(rng, n, (off+2)%8)
+			want = append([]byte(nil), dst...)
+			MulAddSliceRef(c, want, src)
+			mulAddSliceWord(t16, dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulAddSliceWord c=%#x n=%d: mismatch", c, n)
+			}
+		}
+	}
+}
+
+func TestMulSliceInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, c := range testCoeffs(rng, 50) {
+		s := unaligned(rng, 258, int(c)%8)
+		want := make([]byte, len(s))
+		MulSliceRef(c, want, s)
+		MulSlice(c, s, s)
+		if !bytes.Equal(s, want) {
+			t.Fatalf("in-place MulSlice c=%#x: mismatch", c)
+		}
+	}
+}
+
+// TestDotSliceMatchesRef covers every arity the pairwise-fused kernel
+// branches on: 0 sources, odd/even counts (lone trailing source with and
+// without a preceding fused pair), across odd-tail lengths and offsets —
+// through the public dispatcher and the word body directly.
+func TestDotSliceMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{0, 1, 2, 3, 4, 5, 6, 7, 12} {
+		for _, n := range []int{0, 2, 8, 14, 16, 18, 100, 1000} {
+			coeffs := make([]uint16, k)
+			vecs := make([][]byte, k)
+			for j := 0; j < k; j++ {
+				coeffs[j] = uint16(rng.Intn(Order))
+				vecs[j] = unaligned(rng, n, (j+n)%8)
+			}
+			// Include zero and one coefficients, which take special paths.
+			if k > 1 {
+				coeffs[0] = 0
+			}
+			if k > 2 {
+				coeffs[1] = 1
+			}
+			dst := unaligned(rng, n, 3)
+			want := make([]byte, n)
+			DotSliceRef(want, coeffs, vecs)
+			DotSlice(dst, coeffs, vecs)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("DotSlice k=%d n=%d: mismatch", k, n)
+			}
+
+			if k > 0 && n >= wordMin {
+				dst = unaligned(rng, n, 5)
+				dotSliceWord(dst, coeffs, vecs)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("dotSliceWord k=%d n=%d: mismatch", k, n)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelLengthPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	a, b := make([]byte, 4), make([]byte, 6)
+	odd := make([]byte, 5)
+	expectPanic("AddSlice mismatch", func() { AddSlice(a, b) })
+	expectPanic("AddSlice odd", func() { AddSlice(odd, odd) })
+	expectPanic("XorSlice mismatch", func() { XorSlice(a, a, b) })
+	expectPanic("XorSlice odd", func() { XorSlice(odd, odd, odd) })
+	expectPanic("MulSlice mismatch", func() { MulSlice(3, a, b) })
+	expectPanic("MulSlice odd", func() { MulSlice(3, odd, odd) })
+	expectPanic("MulAddSlice mismatch", func() { MulAddSlice(3, a, b) })
+	expectPanic("MulAddSlice odd", func() { MulAddSlice(3, odd, odd) })
+	expectPanic("DotSlice arity", func() { DotSlice(a, []uint16{1, 2}, [][]byte{a}) })
+	expectPanic("DotSlice vec len", func() { DotSlice(a, []uint16{1}, [][]byte{b}) })
+	expectPanic("DotSlice odd", func() { DotSlice(odd, []uint16{1}, [][]byte{odd}) })
+	expectPanic("UnpackSymbols odd", func() { UnpackSymbols(odd) })
+}
+
+// TestLookupTablesAllCoefficients builds the kernel tables for every field
+// element once and spot-checks each against the scalar multiply — the
+// all-coefficients sweep the per-length tests can't afford.
+func TestLookupTablesAllCoefficients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-coefficient table sweep is slow")
+	}
+	for c := 0; c < Order; c++ {
+		tab := LookupTables(uint16(c))
+		if tab != LookupTables(uint16(c)) {
+			t.Fatalf("c=%#x: tables not memoized", c)
+		}
+		// One probe per table suffices: buildTables derives every entry the
+		// same way, so a wrong table is wrong almost everywhere.
+		v := c & 0x0f
+		p := Mul(uint16(c), uint16(v)<<4)
+		if tab.lo[1][v] != byte(p) || tab.hi[1][v] != byte(p>>8) {
+			t.Fatalf("c=%#x: nibble table wrong", c)
+		}
+		b := (c >> 3) & 0xff
+		if tab.w[1][1][b] != uint32(Mul(uint16(c), uint16(b)<<8))<<16 {
+			t.Fatalf("c=%#x: word table wrong", c)
+		}
+	}
+}
+
+// FuzzGF16Tables checks table generation round-trips: for a fuzzer-chosen
+// coefficient, the nibble tables must recombine to the scalar product of
+// any symbol, the word tables must agree with the nibble tables, and the
+// kernels driven by those tables must match the reference on the fuzzed
+// payload.
+func FuzzGF16Tables(f *testing.F) {
+	f.Add(uint16(2), uint16(0xabcd), []byte("wide stripes need wide symbols.."))
+	f.Add(uint16(0xffff), uint16(1), []byte{})
+	f.Add(uint16(0x1001), uint16(0x8000), bytes.Repeat([]byte{0x5a}, 130))
+	f.Fuzz(func(t *testing.T, c, s uint16, data []byte) {
+		if c < 2 {
+			c += 2 // 0/1 never reach the table paths
+		}
+		tab := LookupTables(c)
+
+		// Nibble-table round-trip: the four nibble products of s must XOR
+		// back to c·s, low and high bytes separately.
+		var lo, hi byte
+		for j := 0; j < 4; j++ {
+			v := (s >> (4 * j)) & 0x0f
+			lo ^= tab.lo[j][v]
+			hi ^= tab.hi[j][v]
+		}
+		if p := Mul(c, s); lo != byte(p) || hi != byte(p>>8) {
+			t.Fatalf("nibble tables for c=%#x do not recombine at s=%#x", c, s)
+		}
+
+		// Word-table round-trip: the two byte products must XOR back to c·s
+		// at both symbol positions of the uint32 pair.
+		w0 := tab.w[0][0][byte(s)] ^ tab.w[0][1][byte(s>>8)]
+		w1 := tab.w[1][0][byte(s)] ^ tab.w[1][1][byte(s>>8)]
+		if p := uint32(Mul(c, s)); w0 != p || w1 != p<<16 {
+			t.Fatalf("word tables for c=%#x do not recombine at s=%#x", c, s)
+		}
+
+		// Kernel equivalence on the fuzzed payload (trimmed to whole
+		// symbols): public dispatch and word body vs reference.
+		n := len(data) &^ 1
+		src := data[:n]
+		dst := make([]byte, n)
+		want := make([]byte, n)
+		MulSlice(c, dst, src)
+		MulSliceRef(c, want, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulSlice c=%#x n=%d: %x != %x", c, n, dst, want)
+		}
+		MulAddSlice(c, dst, src)
+		MulAddSliceRef(c, want, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAddSlice c=%#x n=%d: %x != %x", c, n, dst, want)
+		}
+		if n >= wordMin {
+			mulSliceWord(tab, dst, src)
+			MulSliceRef(c, want, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulSliceWord c=%#x n=%d: %x != %x", c, n, dst, want)
+			}
+			mulAddSliceWord(tab, dst, src)
+			MulAddSliceRef(c, want, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("mulAddSliceWord c=%#x n=%d: %x != %x", c, n, dst, want)
+			}
+		}
+	})
+}
+
+func BenchmarkMulAddSlice16(b *testing.B) {
+	variants := []struct {
+		name string
+		fn   func(c uint16, dst, src []byte)
+	}{
+		{"dispatch", MulAddSlice},
+		{"word", func(c uint16, dst, src []byte) { mulAddSliceWord(LookupTables(c), dst, src) }},
+		{"ref", MulAddSliceRef},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			src := make([]byte, 1<<20)
+			dst := make([]byte, 1<<20)
+			rng := rand.New(rand.NewSource(5))
+			rng.Read(src)
+			b.SetBytes(1 << 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.fn(0x1234, dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkDotSlice16(b *testing.B) {
+	const k = 8
+	coeffs := make([]uint16, k)
+	vecs := make([][]byte, k)
+	rng := rand.New(rand.NewSource(6))
+	for j := range vecs {
+		coeffs[j] = uint16(2 + rng.Intn(Order-2))
+		vecs[j] = make([]byte, 1<<18)
+		rng.Read(vecs[j])
+	}
+	dst := make([]byte, 1<<18)
+	b.SetBytes(k << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotSlice(dst, coeffs, vecs)
+	}
+}

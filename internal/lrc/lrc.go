@@ -151,13 +151,20 @@ func (c *Code) LocalGroup(idx int) int {
 // The local-first ordering is what gives LRC its degraded-read I/O savings
 // (paper §II-C); the global alternates let the planner dodge hot disks.
 func (c *Code) RecoverySets(idx int) [][]int {
-	n := c.N()
+	return lrcRecoverySets(c.k, c.l, c.m, c.groupSize, idx)
+}
+
+// lrcRecoverySets is the field-width-independent body of RecoverySets,
+// shared by the GF(2^8) and GF(2^16) codes (the set structure depends only
+// on the local-group layout, not the symbol width).
+func lrcRecoverySets(k, l, m, groupSize, idx int) [][]int {
+	n := k + l + m
 	if idx < 0 || idx >= n {
 		panic(fmt.Sprintf("lrc: element %d out of [0,%d)", idx, n))
 	}
 	allData := func(except int) []int {
-		s := make([]int, 0, c.k)
-		for j := 0; j < c.k; j++ {
+		s := make([]int, 0, k)
+		for j := 0; j < k; j++ {
 			if j != except {
 				s = append(s, j)
 			}
@@ -166,23 +173,23 @@ func (c *Code) RecoverySets(idx int) [][]int {
 	}
 	var sets [][]int
 	switch {
-	case idx < c.k: // data element
-		g := idx / c.groupSize
-		local := make([]int, 0, c.groupSize)
-		for j := g * c.groupSize; j < (g+1)*c.groupSize; j++ {
+	case idx < k: // data element
+		g := idx / groupSize
+		local := make([]int, 0, groupSize)
+		for j := g * groupSize; j < (g+1)*groupSize; j++ {
 			if j != idx {
 				local = append(local, j)
 			}
 		}
-		local = append(local, c.k+g)
+		local = append(local, k+g)
 		sets = append(sets, local)
-		for t := 0; t < c.m; t++ {
-			sets = append(sets, append(allData(idx), c.k+c.l+t))
+		for t := 0; t < m; t++ {
+			sets = append(sets, append(allData(idx), k+l+t))
 		}
-	case idx < c.k+c.l: // local parity
-		g := idx - c.k
-		local := make([]int, 0, c.groupSize)
-		for j := g * c.groupSize; j < (g+1)*c.groupSize; j++ {
+	case idx < k+l: // local parity
+		g := idx - k
+		local := make([]int, 0, groupSize)
+		for j := g * groupSize; j < (g+1)*groupSize; j++ {
 			local = append(local, j)
 		}
 		sets = append(sets, local)

@@ -1,0 +1,366 @@
+// Dense linear algebra over GF(2^16) — the wide-symbol twin of matrix.go.
+//
+// Matrix16 carries uint16 elements and backs the wide-stripe code
+// constructions, where n = k+m can exceed GF(2^8)'s 256-element ceiling
+// (Cauchy generators need rows+cols distinct field points). Scalar row
+// reduction runs on gf16's row kernels; MulVec applies coefficient rows to
+// data shards holding little-endian-packed 16-bit symbols via the gf16
+// slice kernels, so wide-stripe encode/decode hits the same SIMD paths as
+// the GF(2^8) codes.
+package matrix
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gf16"
+)
+
+// Matrix16 is a dense rows×cols matrix over GF(2^16).
+type Matrix16 struct {
+	rows, cols int
+	data       []uint16 // row-major, len rows*cols
+}
+
+// New16 returns a zero-valued rows×cols matrix over GF(2^16).
+func New16(rows, cols int) *Matrix16 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %d×%d", rows, cols))
+	}
+	return &Matrix16{rows: rows, cols: cols, data: make([]uint16, rows*cols)}
+}
+
+// FromRows16 builds a matrix from a slice of equally sized rows, copying
+// the contents. It panics if rows are ragged.
+func FromRows16(rows [][]uint16) *Matrix16 {
+	if len(rows) == 0 {
+		return New16(0, 0)
+	}
+	m := New16(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("matrix: ragged row %d: %d != %d", i, len(r), m.cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Identity16 returns the n×n identity matrix over GF(2^16).
+func Identity16(n int) *Matrix16 {
+	m := New16(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde16 returns the rows×cols Vandermonde matrix V[i][j] = i^j with
+// 0^0 = 1, using row indices as the distinct evaluation points. rows must
+// be at most 65536.
+func Vandermonde16(rows, cols int) *Matrix16 {
+	if rows > gf16.Order {
+		panic(fmt.Sprintf("matrix: Vandermonde16 rows %d exceeds field size", rows))
+	}
+	m := New16(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, gf16.Exp(uint16(i), j))
+		}
+	}
+	return m
+}
+
+// Cauchy16 returns the rows×cols Cauchy matrix C[i][j] = 1/(x_i + y_j) with
+// x_i = i + cols and y_j = j. Every square submatrix of a Cauchy matrix is
+// invertible, so it yields MDS codes directly — this is what makes wide
+// stripes (rows+cols up to 65536) possible at all. rows+cols must be
+// ≤ 65536.
+func Cauchy16(rows, cols int) *Matrix16 {
+	if rows+cols > gf16.Order {
+		panic(fmt.Sprintf("matrix: Cauchy16 %d+%d exceeds field size", rows, cols))
+	}
+	m := New16(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, gf16.Inv(uint16(i+cols)^uint16(j)))
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix16) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix16) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix16) At(i, j int) uint16 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix16) Set(i, j int, v uint16) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix16) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a mutable slice aliasing the matrix storage.
+func (m *Matrix16) Row(i int) []uint16 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix16) Clone() *Matrix16 {
+	c := New16(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix16) Equal(o *Matrix16) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the product m·o. It panics on a dimension mismatch.
+func (m *Matrix16) Mul(o *Matrix16) *Matrix16 {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("matrix: Mul dimension mismatch %d×%d · %d×%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	p := New16(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mr := m.Row(i)
+		pr := p.Row(i)
+		for t := 0; t < m.cols; t++ {
+			gf16.MulAddRow(mr[t], pr, o.Row(t))
+		}
+	}
+	return p
+}
+
+// MulVec applies the matrix to a vector of data shards: out[i] is the GF
+// linear combination of shards with coefficients from row i. Shards hold
+// little-endian-packed 16-bit symbols; all must share one even length, and
+// out must have m.Rows() slices of that length.
+func (m *Matrix16) MulVec(out, shards [][]byte) {
+	if len(shards) != m.cols {
+		panic(fmt.Sprintf("matrix: MulVec got %d shards, want %d", len(shards), m.cols))
+	}
+	if len(out) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVec got %d outputs, want %d", len(out), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		gf16.DotSlice(out[i], m.Row(i), shards)
+	}
+}
+
+// Augment returns [m | o] side by side. Row counts must match.
+func (m *Matrix16) Augment(o *Matrix16) *Matrix16 {
+	if m.rows != o.rows {
+		panic(fmt.Sprintf("matrix: Augment row mismatch %d != %d", m.rows, o.rows))
+	}
+	a := New16(m.rows, m.cols+o.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(a.Row(i)[:m.cols], m.Row(i))
+		copy(a.Row(i)[m.cols:], o.Row(i))
+	}
+	return a
+}
+
+// Stack returns m on top of o. Column counts must match.
+func (m *Matrix16) Stack(o *Matrix16) *Matrix16 {
+	if m.cols != o.cols {
+		panic(fmt.Sprintf("matrix: Stack column mismatch %d != %d", m.cols, o.cols))
+	}
+	s := New16(m.rows+o.rows, m.cols)
+	copy(s.data, m.data)
+	copy(s.data[m.rows*m.cols:], o.data)
+	return s
+}
+
+// SubMatrix returns the rectangle [r0,r1)×[c0,c1) as a copy.
+func (m *Matrix16) SubMatrix(r0, r1, c0, c1 int) *Matrix16 {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("matrix: SubMatrix [%d:%d,%d:%d] out of %d×%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	s := New16(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.Row(i-r0), m.Row(i)[c0:c1])
+	}
+	return s
+}
+
+// SelectRows returns a new matrix whose rows are m's rows at the given
+// indices, in order. Indices may repeat.
+func (m *Matrix16) SelectRows(idx []int) *Matrix16 {
+	s := New16(len(idx), m.cols)
+	for i, r := range idx {
+		copy(s.Row(i), m.Row(r))
+	}
+	return s
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Matrix16) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for t := range ri {
+		ri[t], rj[t] = rj[t], ri[t]
+	}
+}
+
+// gaussianCols row-reduces m in place, choosing pivots only from the first
+// maxCol columns (later columns still participate in row operations). It
+// returns the number of pivots found, i.e. the rank of the left block.
+func (m *Matrix16) gaussianCols(maxCol int) int {
+	rank := 0
+	for col := 0; col < maxCol && rank < m.rows; col++ {
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.SwapRows(rank, pivot)
+		inv := gf16.Inv(m.At(rank, col))
+		gf16.MulRow(inv, m.Row(rank), m.Row(rank))
+		for r := 0; r < m.rows; r++ {
+			if r != rank && m.At(r, col) != 0 {
+				gf16.MulAddRow(m.At(r, col), m.Row(r), m.Row(rank))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Rank returns the rank of the matrix.
+func (m *Matrix16) Rank() int {
+	return m.Clone().gaussianCols(m.cols)
+}
+
+// Invert returns the inverse of a square matrix, or ErrSingular.
+func (m *Matrix16) Invert() (*Matrix16, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert non-square %d×%d", m.rows, m.cols)
+	}
+	aug := m.Augment(Identity16(m.rows))
+	if aug.gaussianCols(m.cols) < m.rows {
+		return nil, ErrSingular
+	}
+	return aug.SubMatrix(0, m.rows, m.cols, 2*m.cols), nil
+}
+
+// IsIdentity reports whether m is a square identity matrix.
+func (m *Matrix16) IsIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	return m.Equal(Identity16(m.rows))
+}
+
+// SpanSolve16 expresses each target row as a linear combination of the
+// available rows, exactly like SpanSolve but over GF(2^16): the returned
+// coefficient matrix C (len(targets) × len(available)) satisfies
+// targets = C · available, or ErrUnsolvable if a target is outside the
+// span of the available rows.
+func SpanSolve16(available, targets *Matrix16) (*Matrix16, error) {
+	if available.cols != targets.cols {
+		return nil, fmt.Errorf("matrix: SpanSolve width mismatch %d != %d", available.cols, targets.cols)
+	}
+	na := available.rows
+	// Row-reduce [available | I]; the right block tracks the combination of
+	// original available rows that produced each reduced row.
+	work := available.Augment(Identity16(na))
+	rank := 0
+	pivotCol := make([]int, 0, na)
+	for col := 0; col < available.cols && rank < na; col++ {
+		pivot := -1
+		for r := rank; r < na; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work.SwapRows(rank, pivot)
+		inv := gf16.Inv(work.At(rank, col))
+		gf16.MulRow(inv, work.Row(rank), work.Row(rank))
+		for r := 0; r < na; r++ {
+			if r != rank && work.At(r, col) != 0 {
+				gf16.MulAddRow(work.At(r, col), work.Row(r), work.Row(rank))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+
+	w := available.cols
+	coeff := New16(targets.rows, na)
+	resid := make([]uint16, w)
+	comb := make([]uint16, na)
+	for t := 0; t < targets.rows; t++ {
+		copy(resid, targets.Row(t))
+		for i := range comb {
+			comb[i] = 0
+		}
+		for r := 0; r < rank; r++ {
+			c := resid[pivotCol[r]]
+			if c == 0 {
+				continue
+			}
+			gf16.MulAddRow(c, resid, work.Row(r)[:w])
+			gf16.MulAddRow(c, comb, work.Row(r)[w:])
+		}
+		for _, v := range resid {
+			if v != 0 {
+				return nil, ErrUnsolvable
+			}
+		}
+		copy(coeff.Row(t), comb)
+	}
+	return coeff, nil
+}
+
+// String renders the matrix for debugging, one row per line.
+func (m *Matrix16) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d×%d\n", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%04x", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

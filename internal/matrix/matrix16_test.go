@@ -1,0 +1,162 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf16"
+)
+
+func randMatrix16(rng *rand.Rand, rows, cols int) *Matrix16 {
+	m := New16(rows, cols)
+	for i := range m.data {
+		m.data[i] = uint16(rng.Intn(gf16.Order))
+	}
+	return m
+}
+
+func TestMatrix16InvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 17, 64} {
+		var m *Matrix16
+		for {
+			m = randMatrix16(rng, n, n)
+			if m.Rank() == n {
+				break
+			}
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !m.Mul(inv).IsIdentity() {
+			t.Fatalf("n=%d: m·inv != I", n)
+		}
+	}
+	if _, err := New16(3, 3).Invert(); err != ErrSingular {
+		t.Fatalf("zero matrix inverted: %v", err)
+	}
+	if _, err := New16(2, 3).Invert(); err == nil {
+		t.Fatal("non-square matrix inverted")
+	}
+}
+
+// TestCauchy16MDS verifies the property wide-stripe codes rest on: every
+// square submatrix of a Cauchy matrix is invertible. Sampled over random
+// row/column selections at wide dimensions GF(2^8) cannot even express.
+func TestCauchy16MDS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := Cauchy16(16, 512) // 528 distinct field points — impossible in gf8
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(16)
+		rows := rng.Perm(c.Rows())[:n]
+		cols := rng.Perm(c.Cols())[:n]
+		sub := New16(n, n)
+		for i, r := range rows {
+			for j, cc := range cols {
+				sub.Set(i, j, c.At(r, cc))
+			}
+		}
+		if sub.Rank() != n {
+			t.Fatalf("trial %d: %d×%d Cauchy submatrix singular", trial, n, n)
+		}
+	}
+}
+
+func TestMatrix16MulVecMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k, rows, symbols = 7, 4, 33
+	m := randMatrix16(rng, rows, k)
+	shards := make([][]byte, k)
+	sym := make([][]uint16, k)
+	for j := range shards {
+		sym[j] = make([]uint16, symbols)
+		for s := range sym[j] {
+			sym[j][s] = uint16(rng.Intn(gf16.Order))
+		}
+		shards[j] = gf16.PackSymbols(sym[j])
+	}
+	out := make([][]byte, rows)
+	for i := range out {
+		out[i] = make([]byte, symbols*gf16.SymbolBytes)
+	}
+	m.MulVec(out, shards)
+	for i := 0; i < rows; i++ {
+		want := make([]uint16, symbols)
+		for j := 0; j < k; j++ {
+			for s := 0; s < symbols; s++ {
+				want[s] ^= gf16.Mul(m.At(i, j), sym[j][s])
+			}
+		}
+		if !bytes.Equal(out[i], gf16.PackSymbols(want)) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestSpanSolve16(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// A wide systematic generator: can every data row be recovered from a
+	// survivor subset of k rows?
+	const k, m = 64, 4
+	gen := Identity16(k).Stack(Cauchy16(m, k))
+	lost := rng.Perm(k)[:m] // erase m data rows
+	lostSet := map[int]bool{}
+	for _, l := range lost {
+		lostSet[l] = true
+	}
+	availIdx := []int{}
+	for i := 0; i < k+m; i++ {
+		if !lostSet[i] {
+			availIdx = append(availIdx, i)
+		}
+	}
+	avail := gen.SelectRows(availIdx)
+	targets := gen.SelectRows(lost)
+	coeff, err := SpanSolve16(avail, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coeff.Mul(avail).Equal(targets) {
+		t.Fatal("SpanSolve16 coefficients do not reproduce targets")
+	}
+
+	// An unreachable target must be reported, not silently mis-solved.
+	short := gen.SelectRows(availIdx[:k-1])
+	if _, err := SpanSolve16(short.SubMatrix(0, k-1, 0, k), targets); err == nil {
+		t.Fatal("expected ErrUnsolvable with too few survivors")
+	}
+}
+
+func TestMatrix16Shape(t *testing.T) {
+	m := FromRows16([][]uint16{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows() != 2 || m.Cols() != 3 || m.At(1, 2) != 6 {
+		t.Fatal("FromRows16 broken")
+	}
+	a := m.Augment(FromRows16([][]uint16{{7}, {8}}))
+	if a.Cols() != 4 || a.At(0, 3) != 7 {
+		t.Fatal("Augment broken")
+	}
+	s := m.Stack(FromRows16([][]uint16{{9, 10, 11}}))
+	if s.Rows() != 3 || s.At(2, 0) != 9 {
+		t.Fatal("Stack broken")
+	}
+	sub := s.SubMatrix(1, 3, 1, 3)
+	if sub.Rows() != 2 || sub.At(1, 1) != 11 {
+		t.Fatal("SubMatrix broken")
+	}
+	if !m.Clone().Equal(m) {
+		t.Fatal("Clone/Equal broken")
+	}
+	sel := s.SelectRows([]int{2, 0})
+	if sel.At(0, 0) != 9 || sel.At(1, 0) != 1 {
+		t.Fatal("SelectRows broken")
+	}
+	if len(m.String()) == 0 {
+		t.Fatal("String broken")
+	}
+	if Vandermonde16(4, 3).At(3, 2) != gf16.Mul(3, 3) {
+		t.Fatal("Vandermonde16 broken")
+	}
+}

@@ -64,29 +64,35 @@ func (c *Code) M() int { return c.m }
 //     t. These give the planner genuinely different disk footprints to
 //     balance load across.
 func (c *Code) RecoverySets(idx int) [][]int {
-	n := c.N()
+	return recoverySets(c.N(), c.k, idx)
+}
+
+// recoverySets is the field-width-independent body of RecoverySets, shared
+// by the GF(2^8) and GF(2^16) codes (the set structure depends only on the
+// MDS property, not the symbol width).
+func recoverySets(n, k, idx int) [][]int {
 	if idx < 0 || idx >= n {
 		panic(fmt.Sprintf("rs: element %d out of [0,%d)", idx, n))
 	}
 	var sets [][]int
-	otherData := make([]int, 0, c.k)
-	for j := 0; j < c.k && len(otherData) < c.k; j++ {
+	otherData := make([]int, 0, k)
+	for j := 0; j < k && len(otherData) < k; j++ {
 		if j != idx {
 			otherData = append(otherData, j)
 		}
 	}
-	if idx < c.k {
+	if idx < k {
 		// Lost data: other k-1 data + each parity in turn.
-		for p := c.k; p < n; p++ {
+		for p := k; p < n; p++ {
 			sets = append(sets, append(append([]int{}, otherData...), p))
 		}
 	} else {
 		// Lost parity: recompute from the k data elements.
 		sets = append(sets, otherData)
 	}
-	for t := 0; t < n-c.k; t++ {
-		set := make([]int, 0, c.k)
-		for j := 0; j < c.k; j++ {
+	for t := 0; t < n-k; t++ {
+		set := make([]int, 0, k)
+		for j := 0; j < k; j++ {
 			set = append(set, (idx+1+t+j)%n)
 		}
 		sets = append(sets, set)

@@ -1,0 +1,62 @@
+// Wide-stripe Reed-Solomon over GF(2^16): RS16(k,m) is RS(k,m) with 16-bit
+// symbols, lifting the k+m ≤ 256 field ceiling to the widths production
+// systems run to cut storage overhead (k in the tens to hundreds, overhead
+// m/k of a few percent). Shards hold little-endian-packed symbols, so the
+// code plugs into every byte-shard consumer unchanged; sizes must be even.
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/codes"
+	"repro/internal/matrix"
+)
+
+// Code16 is a systematic wide-stripe Reed-Solomon code with parameters
+// (k, m) over GF(2^16).
+type Code16 struct {
+	*codes.Base16
+	k, m int
+}
+
+// New16 constructs RS16(k,m). The Cauchy generator block makes the code MDS
+// by construction, so the declared fault tolerance m needs no search.
+func New16(k, m int) (*Code16, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("rs: invalid parameters k=%d m=%d", k, m)
+	}
+	if k+m > codes.MaxN16 {
+		return nil, fmt.Errorf("rs: k+m = %d exceeds wide-code limit %d", k+m, codes.MaxN16)
+	}
+	gen := matrix.Identity16(k).Stack(matrix.Cauchy16(m, k))
+	return &Code16{Base16: codes.NewBase16(gen, m), k: k, m: m}, nil
+}
+
+// Must16 constructs RS16(k,m) and panics on invalid parameters.
+func Must16(k, m int) *Code16 {
+	c, err := New16(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns "RS16(k,m)".
+func (c *Code16) Name() string { return fmt.Sprintf("RS16(%d,%d)", c.k, c.m) }
+
+// M returns the number of parity elements per row.
+func (c *Code16) M() int { return c.m }
+
+// RecoverySets returns candidate read sets for rebuilding element idx when
+// it is the only erasure — the same data-heavy + cyclic-window families as
+// RS(k,m) (see Code.RecoverySets), shared through recoverySets.
+func (c *Code16) RecoverySets(idx int) [][]int {
+	return recoverySets(c.N(), c.k, idx)
+}
+
+var (
+	_ codes.Code              = (*Code16)(nil)
+	_ codes.IntoEncoder       = (*Code16)(nil)
+	_ codes.IntoReconstructor = (*Code16)(nil)
+	_ codes.WideSymbolCode    = (*Code16)(nil)
+)

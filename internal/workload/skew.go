@@ -1,0 +1,201 @@
+// Skewed workloads: real cloud read traffic is not uniform — a small set of
+// hot objects absorbs most requests (Zipf rank-frequency), operators see
+// hotspot ranges (a popular tenant or shard), and offered load ramps with
+// the time of day. The skewed generator layers those three effects on top of
+// the paper's uniform protocol so layout forms can be compared under the
+// traffic that actually stresses per-disk load balance.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SkewKind selects the start-element distribution of a skewed generator.
+type SkewKind int
+
+const (
+	// SkewUniform reproduces the paper's uniform start selection.
+	SkewUniform SkewKind = iota
+	// SkewZipf draws the start element Zipf-distributed by rank: element 0
+	// is the hottest, with frequency falling off as rank^-s.
+	SkewZipf
+	// SkewHotspot sends HotFraction of requests into the first HotExtent of
+	// the element space and spreads the rest uniformly over the remainder.
+	SkewHotspot
+)
+
+// String names the kind for reports.
+func (k SkewKind) String() string {
+	switch k {
+	case SkewUniform:
+		return "uniform"
+	case SkewZipf:
+		return "zipf"
+	case SkewHotspot:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("skew(%d)", int(k))
+	}
+}
+
+// SkewConfig shapes a skewed generator. The zero value is the uniform
+// workload with no diurnal ramp.
+type SkewConfig struct {
+	Kind SkewKind
+	// ZipfS is the Zipf exponent (> 1); 0 selects the default 1.2, a
+	// middle-of-the-road value for storage traces.
+	ZipfS float64
+	// HotFraction is the share of requests aimed at the hot range; 0 selects
+	// the default 0.9.
+	HotFraction float64
+	// HotExtent is the share of the element space that is hot; 0 selects the
+	// default 0.1 (the classic 90/10 rule together with HotFraction).
+	HotExtent float64
+	// DiurnalPeriod is the number of trials in one simulated day; 0 disables
+	// the ramp (Intensity is then always 1).
+	DiurnalPeriod int
+	// DiurnalMin is the trough intensity in (0,1]; 0 selects the default 0.2.
+	// Peak intensity is always 1.
+	DiurnalMin float64
+}
+
+func (s SkewConfig) zipfS() float64 {
+	if s.ZipfS > 1 {
+		return s.ZipfS
+	}
+	return 1.2
+}
+
+func (s SkewConfig) hotFraction() float64 {
+	if s.HotFraction > 0 {
+		return s.HotFraction
+	}
+	return 0.9
+}
+
+func (s SkewConfig) hotExtent() float64 {
+	if s.HotExtent > 0 {
+		return s.HotExtent
+	}
+	return 0.1
+}
+
+func (s SkewConfig) diurnalMin() float64 {
+	if s.DiurnalMin > 0 {
+		return s.DiurnalMin
+	}
+	return 0.2
+}
+
+// SkewedGenerator produces reproducible skewed trial sequences. It shares
+// Config (extent, disks, sizes, seed) with the uniform Generator; only the
+// start-element distribution and the intensity envelope differ.
+type SkewedGenerator struct {
+	cfg   Config
+	skew  SkewConfig
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	trial int
+}
+
+// NewSkewed builds a skewed generator, validating both configs.
+func NewSkewed(cfg Config, skew SkewConfig) (*SkewedGenerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if skew.Kind == SkewZipf && skew.ZipfS != 0 && skew.ZipfS <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent %v must exceed 1", skew.ZipfS)
+	}
+	if skew.Kind == SkewHotspot && (skew.hotExtent() >= 1 || skew.hotFraction() > 1) {
+		return nil, fmt.Errorf("workload: hotspot fraction %v / extent %v out of range",
+			skew.hotFraction(), skew.hotExtent())
+	}
+	if skew.DiurnalMin < 0 || skew.DiurnalMin > 1 {
+		return nil, fmt.Errorf("workload: diurnal trough %v outside [0,1]", skew.DiurnalMin)
+	}
+	g := &SkewedGenerator{cfg: cfg, skew: skew, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if skew.Kind == SkewZipf {
+		g.zipf = rand.NewZipf(g.rng, skew.zipfS(), 1, uint64(cfg.TotalElements-1))
+	}
+	return g, nil
+}
+
+// MustSkewed is NewSkewed for known-good configs; it panics on error.
+func MustSkewed(cfg Config, skew SkewConfig) *SkewedGenerator {
+	g, err := NewSkewed(cfg, skew)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// start draws a start element for a request of the given size per the skew
+// kind, clamped so the request fits the extent.
+func (g *SkewedGenerator) start(count int) int {
+	limit := g.cfg.TotalElements - count
+	var s int
+	switch g.skew.Kind {
+	case SkewZipf:
+		s = int(g.zipf.Uint64())
+	case SkewHotspot:
+		hot := int(float64(g.cfg.TotalElements) * g.skew.hotExtent())
+		if hot < 1 {
+			hot = 1
+		}
+		if g.rng.Float64() < g.skew.hotFraction() {
+			s = g.rng.Intn(hot)
+		} else if hot < g.cfg.TotalElements {
+			s = hot + g.rng.Intn(g.cfg.TotalElements-hot)
+		} else {
+			s = g.rng.Intn(g.cfg.TotalElements)
+		}
+	default:
+		s = g.rng.Intn(limit + 1)
+	}
+	if s > limit {
+		s = limit
+	}
+	return s
+}
+
+// Next returns the next skewed normal-read trial and advances the diurnal
+// clock.
+func (g *SkewedGenerator) Next() ReadTrial {
+	g.trial++
+	count := 1 + g.rng.Intn(g.cfg.maxSize())
+	return ReadTrial{Start: g.start(count), Count: count, FailedDisk: -1}
+}
+
+// NextDegraded is Next plus a uniform random failed disk.
+func (g *SkewedGenerator) NextDegraded() ReadTrial {
+	t := g.Next()
+	t.FailedDisk = g.rng.Intn(g.cfg.Disks)
+	return t
+}
+
+// Intensity returns the offered-load multiplier for the current position of
+// the diurnal clock: a raised cosine running from DiurnalMin at the trough
+// to 1 at the peak over DiurnalPeriod trials. Callers scale their request
+// rate (or burst size) by it to replay a day/night cycle. Without a period
+// it is always 1.
+func (g *SkewedGenerator) Intensity() float64 {
+	p := g.skew.DiurnalPeriod
+	if p <= 0 {
+		return 1
+	}
+	lo := g.skew.diurnalMin()
+	phase := 2 * math.Pi * float64(g.trial%p) / float64(p)
+	// Peak at mid-period, trough at the boundaries.
+	return lo + (1-lo)*0.5*(1-math.Cos(phase))
+}
+
+// Series generates n skewed trials.
+func (g *SkewedGenerator) Series(n int) []ReadTrial {
+	out := make([]ReadTrial, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

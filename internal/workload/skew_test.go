@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func skewCfg() Config {
+	return Config{TotalElements: 10000, Disks: 9, Seed: 77}
+}
+
+func TestSkewedTrialsStayInBounds(t *testing.T) {
+	for _, kind := range []SkewKind{SkewUniform, SkewZipf, SkewHotspot} {
+		g := MustSkewed(skewCfg(), SkewConfig{Kind: kind})
+		for i := 0; i < 5000; i++ {
+			tr := g.NextDegraded()
+			if tr.Start < 0 || tr.Count < 1 || tr.Count > MaxReadElements ||
+				tr.Start+tr.Count > skewCfg().TotalElements {
+				t.Fatalf("%v trial %d out of bounds: %+v", kind, i, tr)
+			}
+			if tr.FailedDisk < 0 || tr.FailedDisk >= skewCfg().Disks {
+				t.Fatalf("%v trial %d bad disk: %+v", kind, i, tr)
+			}
+		}
+	}
+}
+
+func TestSkewedDeterministicBySeed(t *testing.T) {
+	a := MustSkewed(skewCfg(), SkewConfig{Kind: SkewZipf})
+	b := MustSkewed(skewCfg(), SkewConfig{Kind: SkewZipf})
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at trial %d", i)
+		}
+	}
+}
+
+func TestZipfConcentratesOnHead(t *testing.T) {
+	// With exponent 1.2, the top 1% of elements must receive far more than
+	// their uniform share (1%) of requests — the whole point of the skew.
+	g := MustSkewed(skewCfg(), SkewConfig{Kind: SkewZipf})
+	const trials = 20000
+	head := skewCfg().TotalElements / 100
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if g.Next().Start < head {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.30 {
+		t.Fatalf("zipf head fraction %.3f; want well above the uniform 0.01", frac)
+	}
+}
+
+func TestHotspotHonorsFractions(t *testing.T) {
+	// Default 90/10: ~90% of starts inside the first 10% of the extent.
+	g := MustSkewed(skewCfg(), SkewConfig{Kind: SkewHotspot})
+	const trials = 20000
+	hot := skewCfg().TotalElements / 10
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if g.Next().Start < hot {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hotspot fraction %.3f, want ≈ 0.9", frac)
+	}
+}
+
+func TestDiurnalIntensityRampsAndRepeats(t *testing.T) {
+	g := MustSkewed(skewCfg(), SkewConfig{Kind: SkewUniform, DiurnalPeriod: 100, DiurnalMin: 0.25})
+	var lo, hi = math.Inf(1), math.Inf(-1)
+	first := make([]float64, 100)
+	for i := 0; i < 200; i++ {
+		v := g.Intensity()
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		if i < 100 {
+			first[i] = v
+		} else if math.Abs(v-first[i-100]) > 1e-12 {
+			t.Fatalf("intensity not periodic at trial %d: %v vs %v", i, v, first[i-100])
+		}
+		g.Next()
+	}
+	if lo < 0.25-1e-9 || hi > 1+1e-9 {
+		t.Fatalf("intensity range [%v,%v] outside [0.25,1]", lo, hi)
+	}
+	if hi-lo < 0.5 {
+		t.Fatalf("intensity barely moves: [%v,%v]", lo, hi)
+	}
+
+	// No period → constant 1.
+	flat := MustSkewed(skewCfg(), SkewConfig{})
+	for i := 0; i < 10; i++ {
+		if flat.Intensity() != 1 {
+			t.Fatal("intensity must be 1 without a diurnal period")
+		}
+		flat.Next()
+	}
+}
+
+func TestNewSkewedValidation(t *testing.T) {
+	if _, err := NewSkewed(Config{TotalElements: 5, Disks: 0}, SkewConfig{}); err == nil {
+		t.Fatal("bad base config accepted")
+	}
+	if _, err := NewSkewed(skewCfg(), SkewConfig{Kind: SkewZipf, ZipfS: 0.5}); err == nil {
+		t.Fatal("zipf exponent <= 1 accepted")
+	}
+	if _, err := NewSkewed(skewCfg(), SkewConfig{Kind: SkewHotspot, HotExtent: 1.5}); err == nil {
+		t.Fatal("hot extent >= 1 accepted")
+	}
+	if _, err := NewSkewed(skewCfg(), SkewConfig{DiurnalMin: 2}); err == nil {
+		t.Fatal("diurnal trough > 1 accepted")
+	}
+}
